@@ -1,0 +1,165 @@
+// Package stellar's root benchmark harness: one testing.B benchmark per
+// paper table/figure (regenerating the artifact each iteration) plus
+// substrate micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use a reduced workload scale and repetition count so a full
+// sweep stays in the minutes; `go run ./cmd/stellar-bench` runs the
+// full-scale versions and prints the tables.
+package stellar
+
+import (
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/experiments"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/lustre"
+	"stellar/internal/manual"
+	"stellar/internal/params"
+	"stellar/internal/rag"
+	"stellar/internal/workload"
+)
+
+// benchCfg keeps each figure regeneration fast enough to iterate.
+func benchCfg() experiments.Config {
+	return experiments.Config{Reps: 3, Scale: 0.1, Seed: 7}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkFig2Hallucination regenerates Figure 2 (parameter facts with and
+// without RAG grounding).
+func BenchmarkFig2Hallucination(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig5TuningPerformance regenerates Figure 5 (default vs expert vs
+// STELLAR wall times across the five benchmarks).
+func BenchmarkFig5TuningPerformance(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6RuleSetInterpolation regenerates Figure 6 (per-iteration
+// speedups with and without the global rule set).
+func BenchmarkFig6RuleSetInterpolation(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7RuleSetExtrapolation regenerates Figure 7 (real applications
+// tuned with benchmark-learned rules).
+func BenchmarkFig7RuleSetExtrapolation(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Ablation regenerates Figure 8 (No Descriptions / No Analysis
+// ablations on MDWorkbench_8K).
+func BenchmarkFig8Ablation(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9ModelComparison regenerates Figure 9 (three models as the
+// Tuning Agent on IOR_16M).
+func BenchmarkFig9ModelComparison(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkCostTable regenerates the §5.7 token-usage table.
+func BenchmarkCostTable(b *testing.B) { runExperiment(b, "cost") }
+
+// BenchmarkIterationCost regenerates the iteration-cost comparison against
+// traditional autotuners.
+func BenchmarkIterationCost(b *testing.B) { runExperiment(b, "iters") }
+
+// BenchmarkFig10CaseStudy regenerates the Figure 10 tuning timeline.
+func BenchmarkFig10CaseStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig10CaseStudy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty case study")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ----------------------------------------------------------------------
+
+// BenchmarkSimulatorIOR16M measures one simulated IOR_16M execution.
+func BenchmarkSimulatorIOR16M(b *testing.B) {
+	spec := cluster.Default()
+	w := workload.IOR16M(spec.TotalRanks(), 0.25)
+	cfg := params.DefaultConfig(params.Lustre())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorMDWorkbench measures one simulated MDWorkbench_8K
+// execution (the metadata-heavy event-count worst case).
+func BenchmarkSimulatorMDWorkbench(b *testing.B) {
+	spec := cluster.Default()
+	w := workload.MDWorkbench8K(spec.TotalRanks(), 0.1)
+	cfg := params.DefaultConfig(params.Lustre())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAGIndexBuild measures chunking plus embedding of the manual.
+func BenchmarkRAGIndexBuild(b *testing.B) {
+	text := manual.FullText(params.Lustre())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks := rag.ChunkText(text, 1024, 20)
+		rag.NewIndex(rag.NewHashedTFIDF(384, chunks), chunks)
+	}
+}
+
+// BenchmarkOfflineExtraction measures the complete offline phase.
+func BenchmarkOfflineExtraction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+			Spec: cluster.Default(), TuningModel: simllm.Claude37,
+			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+		})
+		if _, err := eng.Offline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompleteTuningRun measures one end-to-end tuning run (IOR_16M).
+func BenchmarkCompleteTuningRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+			Spec: cluster.Default(), TuningModel: simllm.Claude37,
+			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+			Scale: 0.1, Seed: int64(i + 1),
+		})
+		if _, err := eng.Tune("IOR_16M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

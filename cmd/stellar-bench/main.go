@@ -1,0 +1,64 @@
+// Command stellar-bench regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	stellar-bench                  # run everything (Figures 2, 5-10, cost, iteration cost)
+//	stellar-bench -fig fig5        # one experiment (fig2 fig5 fig6 fig7 fig8 fig9 cost iters fig10)
+//	stellar-bench -reps 3          # fewer repetitions for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stellar/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (empty = all)")
+		reps  = flag.Int("reps", 8, "repetitions for averaged measurements")
+		scale = flag.Float64("scale", 0, "workload scale (0 = default)")
+		seed  = flag.Int64("seed", 7, "base simulation seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed}
+
+	run := func(id string) {
+		t0 := time.Now()
+		if id == "fig10" {
+			out, err := experiments.Fig10CaseStudy(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stellar-bench: fig10: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			fmt.Printf("(fig10 took %v)\n\n", time.Since(t0).Round(time.Millisecond))
+			return
+		}
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stellar-bench: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellar-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *fig != "" {
+		run(*fig)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e.ID)
+	}
+	run("fig10")
+}

@@ -1,0 +1,51 @@
+// Command stellar-extract runs STELLAR's offline phase in isolation: chunk
+// and index the file system manual, walk the simulated procfs tree, and
+// print the multistep filtering result — which parameters were dropped at
+// each stage and the final tunable set with descriptions and ranges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print descriptions and ranges for the selected parameters")
+	flag.Parse()
+
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:          cluster.Default(),
+		TuningModel:   simllm.Claude37,
+		AnalysisModel: simllm.GPT4o,
+		ExtractModel:  simllm.GPT4o,
+	})
+	rep, err := eng.Offline()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-extract:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("parameters in the tree:        %d\n", rep.TotalParams)
+	fmt.Printf("writable (rough filter):       %d\n", rep.Writable)
+	fmt.Printf("insufficient documentation:    %d  %s\n", len(rep.Insufficient), strings.Join(rep.Insufficient, ", "))
+	fmt.Printf("binary (user trade-offs):      %d  %s\n", len(rep.Binary), strings.Join(rep.Binary, ", "))
+	fmt.Printf("documented but low impact:     %d  %s\n", len(rep.NotSignificant), strings.Join(rep.NotSignificant, ", "))
+	fmt.Printf("selected tunables:             %d\n\n", len(rep.Selected))
+
+	tunables, err := eng.Tunables()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-extract:", err)
+		os.Exit(1)
+	}
+	for _, p := range tunables {
+		fmt.Printf("  %-36s range %s to %s (default %d)\n", p.Name, p.Min, p.Max, p.Default)
+		if *verbose {
+			fmt.Printf("      %s\n      %s\n", p.Description, p.Impact)
+		}
+	}
+}

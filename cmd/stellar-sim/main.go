@@ -1,0 +1,92 @@
+// Command stellar-sim runs a workload on the simulated Lustre platform
+// directly — no agents — under an arbitrary parameter configuration, and
+// prints the measured result plus (optionally) the Darshan dump. It is the
+// substrate-level tool for exploring the performance model by hand.
+//
+// Usage:
+//
+//	stellar-sim -workload IOR_16M -set lov.stripe_count=-1 -set osc.max_rpcs_in_flight=64
+//	stellar-sim -workload MDWorkbench_8K -darshan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stellar/internal/cluster"
+	"stellar/internal/darshan"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var sets setFlags
+	var (
+		name    = flag.String("workload", "IOR_16M", "workload name (benchmarks, real apps, E3SM, H5Bench)")
+		scale   = flag.Float64("scale", workload.DefaultScale, "workload scale factor")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		reps    = flag.Int("reps", 1, "repetitions (distinct seeds)")
+		dumpLog = flag.Bool("darshan", false, "print the Darshan dump of the first run")
+	)
+	flag.Var(&sets, "set", "parameter override name=value (repeatable)")
+	flag.Parse()
+
+	spec := cluster.Default()
+	reg := params.Lustre()
+	cfg := params.DefaultConfig(reg)
+	for _, kv := range sets {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -set %q, want name=value", kv))
+		}
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad value in -set %q: %v", kv, err))
+		}
+		cfg[name] = v
+	}
+	env := params.SystemEnv(int64(spec.MemoryMBPerNode), int64(spec.OSTCount), cfg)
+	if err := params.Validate(cfg, reg, env); err != nil {
+		fmt.Fprintf(os.Stderr, "stellar-sim: warning: %v (values will be clamped)\n", err)
+	}
+
+	w, err := workload.Catalog(*name, spec.TotalRanks(), *scale)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *reps; i++ {
+		var sink lustre.TraceSink
+		var col *darshan.Collector
+		if *dumpLog && i == 0 {
+			col = darshan.NewCollector(w.Interface)
+			sink = col
+		}
+		res, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: *seed + int64(i)*101, Trace: sink})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run %d: wall %8.3f s   data RPCs %7d   meta RPCs %7d   stat hits %6d   RA hits %5d   RA waste %d MiB\n",
+			i, res.WallTime, res.DataRPCs, res.MetaRPCs, res.StatHits, res.RAHits, res.RAWasted>>20)
+		if len(res.Clamped) > 0 {
+			fmt.Printf("       clamped: %s\n", strings.Join(res.Clamped, ", "))
+		}
+		if col != nil {
+			fmt.Println()
+			fmt.Println(col.Log("1", w.Name, w.NumRanks()).Dump())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stellar-sim:", err)
+	os.Exit(1)
+}

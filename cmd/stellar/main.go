@@ -1,0 +1,81 @@
+// Command stellar runs one complete STELLAR tuning run on a named workload:
+// offline RAG parameter extraction, the initial traced execution, the
+// Analysis/Tuning agent loop, and the final report with the best
+// configuration and generated rules.
+//
+// Usage:
+//
+//	stellar -workload IOR_16M [-model claude-3.7-sonnet] [-scale 0.25] [-attempts 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "IOR_16M", "workload name: "+strings.Join(append(workload.Benchmarks(), workload.RealApps()...), ", "))
+		model    = flag.String("model", simllm.Claude37, "tuning agent model: "+strings.Join(simllm.Models(), ", "))
+		scale    = flag.Float64("scale", workload.DefaultScale, "workload scale factor (1.0 = paper size)")
+		attempts = flag.Int("attempts", 5, "maximum configuration attempts")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print the I/O report and rationale details")
+	)
+	flag.Parse()
+
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:          cluster.Default(),
+		TuningModel:   *model,
+		AnalysisModel: simllm.GPT4o,
+		ExtractModel:  simllm.GPT4o,
+		Scale:         *scale,
+		MaxAttempts:   *attempts,
+		Seed:          *seed,
+	})
+
+	rep, err := eng.Offline()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("offline extraction: %d parameters in the tree, %d writable, %d selected as tunable\n",
+		rep.TotalParams, rep.Writable, len(rep.Selected))
+
+	res, err := eng.Tune(*name)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Println("\n--- I/O report ---")
+		fmt.Println(res.Report)
+	}
+	fmt.Printf("\ntuning run on %s (%d configuration attempts):\n", *name, len(res.History)-1)
+	for i, h := range res.History {
+		speedup := res.History[0].WallTime / h.WallTime
+		fmt.Printf("  iteration %d: %8.3f s  (x%.2f)\n", i, h.WallTime, speedup)
+	}
+	fmt.Printf("end reason: %s\n", res.EndReason)
+	fmt.Println("\nbest configuration:")
+	for _, k := range res.BestCfg.Names() {
+		fmt.Printf("  %-36s = %d\n", k, res.BestCfg[k])
+	}
+	fmt.Printf("\ngenerated global rule set: %d rules\n", eng.Rules().Len())
+	if *verbose {
+		fmt.Println(eng.Rules().JSON())
+	}
+	u := res.Usage["tuning-agent"]
+	fmt.Printf("tuning agent tokens: %d in / %d out, cache hit %.0f%%\n",
+		u.InputTokens, u.OutputTokens, u.CacheHitRate()*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stellar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Ablation: reproduce the paper's §5.4 component study interactively —
+// run MDWorkbench_8K tuning with the full system, without RAG parameter
+// descriptions, and without the Analysis Agent, and compare outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+)
+
+func main() {
+	variants := []struct {
+		label            string
+		noDescs, noAnaly bool
+	}{
+		{"full STELLAR", false, false},
+		{"no descriptions", true, false},
+		{"no analysis", false, true},
+	}
+	for _, v := range variants {
+		eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+			Spec:                cluster.Default(),
+			TuningModel:         simllm.Claude37,
+			AnalysisModel:       simllm.GPT4o,
+			ExtractModel:        simllm.GPT4o,
+			DisableDescriptions: v.noDescs,
+			DisableAnalysis:     v.noAnaly,
+		})
+		res, err := eng.Tune("MDWorkbench_8K")
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := 0.0
+		for _, sp := range res.Speedups() {
+			if sp > best {
+				best = sp
+			}
+		}
+		fmt.Printf("%-16s best x%.2f over %d attempts  (%s)\n",
+			v.label, best, len(res.History)-1, trim(res.EndReason, 70))
+	}
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,49 @@
+// Quickstart: tune a single workload end to end with STELLAR and print the
+// iteration history, the best configuration, and the learned rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+)
+
+func main() {
+	// The LLM backend. Offline this is the deterministic expert-policy
+	// model suite; swap in httpllm.New("https://api.openai.com/v1", key)
+	// to drive a real endpoint with identical prompts.
+	backend := simllm.New(simllm.GPT4o)
+
+	eng := core.New(backend, core.Options{
+		Spec:          cluster.Default(), // the paper's 10-node CloudLab testbed
+		TuningModel:   simllm.Claude37,   // Tuning Agent model
+		AnalysisModel: simllm.GPT4o,      // Analysis Agent model
+		ExtractModel:  simllm.GPT4o,      // RAG extraction model
+	})
+
+	// Offline phase: extract tunable parameters from the manual via RAG.
+	report, err := eng.Offline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline phase selected %d tunable parameters\n", len(report.Selected))
+
+	// Online phase: one complete tuning run.
+	res, err := eng.Tune("IOR_16M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuning IOR_16M finished after %d attempts: %s\n",
+		len(res.History)-1, res.EndReason)
+	for i, sp := range res.Speedups() {
+		fmt.Printf("  iteration %d: x%.2f\n", i, sp)
+	}
+	fmt.Println("\nbest configuration:")
+	for _, k := range res.BestCfg.Names() {
+		fmt.Printf("  %s = %d\n", k, res.BestCfg[k])
+	}
+	fmt.Printf("\naccumulated rules: %d\n", eng.Rules().Len())
+}

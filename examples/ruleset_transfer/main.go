@@ -1,0 +1,66 @@
+// Rule-set transfer: learn tuning rules on cheap benchmarks, then apply
+// them to a previously unseen application (the paper's §5.3 scenario). The
+// printout contrasts the first-guess quality with and without rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/rules"
+)
+
+func newEngine() *core.Engine {
+	return core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:          cluster.Default(),
+		TuningModel:   simllm.Claude37,
+		AnalysisModel: simllm.GPT4o,
+		ExtractModel:  simllm.GPT4o,
+	})
+}
+
+func main() {
+	// Phase 1: accumulate knowledge on the benchmarks.
+	teacher := newEngine()
+	for _, b := range []string{"IOR_64K", "IOR_16M", "MDWorkbench_8K"} {
+		if _, err := teacher.Tune(b); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("learned from %-16s -> %d rules in the global set\n", b, teacher.Rules().Len())
+	}
+	learned := teacher.Rules().JSON()
+
+	// Phase 2: a previously unseen real application, without rules...
+	fresh := newEngine()
+	without, err := fresh.Tune("MACSio_16M")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ... and with the benchmark-learned rule set.
+	informed := newEngine()
+	set, err := rules.Parse(learned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	informed.SetRules(set)
+	with, err := informed.Tune("MACSio_16M")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nMACSio_16M (unseen application):")
+	fmt.Printf("  without rules: speedups %v\n", fmt2(without.Speedups()))
+	fmt.Printf("  with rules:    speedups %v\n", fmt2(with.Speedups()))
+}
+
+func fmt2(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("x%.2f", x)
+	}
+	return out
+}

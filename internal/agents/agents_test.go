@@ -1,0 +1,245 @@
+package agents
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/darshan"
+	"stellar/internal/llm"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/protocol"
+	"stellar/internal/workload"
+)
+
+func analysisFixture(t *testing.T) *AnalysisAgent {
+	t.Helper()
+	spec := cluster.Default()
+	spec.ClientNodes, spec.ProcsPerNode, spec.OSTCount = 2, 2, 3
+	w := workload.MDWorkbench(workload.MDWorkbenchSpec{
+		Ranks: 4, DirsPerRank: 1, FilesPerDir: 20, FileSize: 8 << 10, Rounds: 1,
+	}, 1.0)
+	col := darshan.NewCollector(w.Interface)
+	_, err := lustre.Run(w, lustre.Options{
+		Spec: spec, Config: params.DefaultConfig(params.Lustre()), Seed: 1, Trace: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := col.Log("1", w.Name, w.NumRanks())
+	return &AnalysisAgent{
+		Client: llm.NewMeter(simllm.New(simllm.GPT4o)),
+		Model:  simllm.GPT4o,
+		Frames: log.Frames(),
+		Header: log.HeaderText(),
+		Docs:   log.ColumnDocs(),
+	}
+}
+
+func TestAnalysisInitialReport(t *testing.T) {
+	a := analysisFixture(t)
+	report, feats, err := a.InitialReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feats.MetaRatio < 0.4 {
+		t.Fatalf("MDWorkbench should look metadata-heavy: %+v", feats)
+	}
+	if feats.FileCount != 80 {
+		t.Fatalf("file count = %d, want 80", feats.FileCount)
+	}
+	if !strings.Contains(report, "metadata") {
+		t.Fatalf("report does not mention metadata:\n%s", report)
+	}
+	// The minor loop must have executed code (tool messages present).
+	sawTool := false
+	for _, m := range a.Messages() {
+		if m.Role == llm.RoleTool {
+			sawTool = true
+		}
+	}
+	if !sawTool {
+		t.Fatal("analysis agent produced a report without executing code")
+	}
+}
+
+func TestAnalysisFollowUpQuestion(t *testing.T) {
+	a := analysisFixture(t)
+	if _, _, err := a.InitialReport(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := a.Ask("What is the ratio of metadata operations to data operations?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans, "ratio") {
+		t.Fatalf("answer = %q", ans)
+	}
+}
+
+// scriptedRunner returns canned wall times.
+type scriptedRunner struct {
+	walls []float64
+	calls int
+	cfgs  []params.Config
+}
+
+func (s *scriptedRunner) Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+	w := s.walls[s.calls%len(s.walls)]
+	s.calls++
+	s.cfgs = append(s.cfgs, cfg)
+	return protocol.HistoryEntry{Config: map[string]int64(cfg), WallTime: w}, nil
+}
+
+func tunables() []*protocol.TunableParam {
+	return []*protocol.TunableParam{
+		{Name: "lov.stripe_count", Description: "striping", Min: "-1", Max: "5", Default: 1},
+		{Name: "lov.stripe_size", Description: "stripe bytes", Min: "65536", Max: "4294967296", Default: 1 << 20},
+		{Name: "osc.max_rpcs_in_flight", Description: "rpc window", Min: "1", Max: "256", Default: 8},
+		{Name: "osc.max_pages_per_rpc", Description: "rpc pages", Min: "1", Max: "1024", Default: 256},
+		{Name: "osc.max_dirty_mb", Description: "dirty cache", Min: "1", Max: "2048", Default: 32},
+		{Name: "llite.max_read_ahead_mb", Description: "read-ahead", Min: "0", Max: "98304", Default: 64},
+		{Name: "llite.max_read_ahead_per_file_mb", Description: "per-file read-ahead", Min: "0", Max: "49152", Default: 32},
+	}
+}
+
+func seqReport() string {
+	f := protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9, SharedFiles: true, FileCount: 1}
+	return "report\n\n" + protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(f))
+}
+
+func TestRunTuningLoopConverges(t *testing.T) {
+	runner := &scriptedRunner{walls: []float64{4.0, 3.9, 3.88}}
+	res, err := RunTuning(TuningOptions{
+		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
+		Model:    simllm.Claude37,
+		Params:   tunables(),
+		Cluster:  "test cluster",
+		Report:   seqReport(),
+		Defaults: params.Config{"osc.max_rpcs_in_flight": 8},
+		InitialRun: protocol.HistoryEntry{
+			Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10,
+		},
+		MaxAttempts: 5,
+		Runner:      runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 3 {
+		t.Fatalf("history = %d entries", len(res.History))
+	}
+	if res.Best.WallTime != 3.88 && res.Best.WallTime != 3.9 && res.Best.WallTime != 4.0 {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	if res.EndReason == "" {
+		t.Fatal("no end reason")
+	}
+	if res.RuleSet == nil || res.RuleSet.Empty() {
+		t.Fatal("reflection produced no rules")
+	}
+	// Iterations must be numbered consecutively.
+	for i, h := range res.History {
+		if h.Iteration != i {
+			t.Fatalf("iteration numbering: %d at index %d", h.Iteration, i)
+		}
+	}
+}
+
+func TestRunTuningEnforcesAttemptCap(t *testing.T) {
+	// Walls keep improving, so the agent would continue forever; the
+	// harness must force a stop at MaxAttempts.
+	walls := make([]float64, 20)
+	for i := range walls {
+		walls[i] = 10.0 / float64(i+2)
+	}
+	runner := &scriptedRunner{walls: walls}
+	res, err := RunTuning(TuningOptions{
+		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
+		Model:    simllm.Claude37,
+		Params:   tunables(),
+		Report:   seqReport(),
+		Defaults: params.Config{},
+		InitialRun: protocol.HistoryEntry{
+			Iteration: 0, Config: map[string]int64{}, WallTime: 10,
+		},
+		MaxAttempts: 3,
+		Runner:      runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.History) - 1; got > 3 {
+		t.Fatalf("attempts = %d, cap was 3", got)
+	}
+}
+
+func TestRunTuningNoAnalysisTool(t *testing.T) {
+	// With a metadata report the first move is an analysis question; with
+	// Analysis == nil it must receive the unavailable notice and continue.
+	f := protocol.Features{Dominant: "metadata", MetaRatio: 0.7, AvgFileKB: 8}
+	report := "r\n\n" + protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(f))
+	runner := &scriptedRunner{walls: []float64{5, 4.9, 4.89}}
+	res, err := RunTuning(TuningOptions{
+		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
+		Model:    simllm.Claude37,
+		Params:   tunables(),
+		Report:   report,
+		Defaults: params.Config{},
+		InitialRun: protocol.HistoryEntry{
+			Iteration: 0, Config: map[string]int64{}, WallTime: 10,
+		},
+		Runner: runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawUnavailable := false
+	for _, m := range res.Messages {
+		if m.Role == llm.RoleTool && strings.Contains(m.Content, "analysis unavailable") {
+			sawUnavailable = true
+		}
+	}
+	if !sawUnavailable {
+		t.Fatal("disabled analysis tool did not report unavailability")
+	}
+}
+
+func TestRunTuningValidatesOptions(t *testing.T) {
+	if _, err := RunTuning(TuningOptions{}); err == nil {
+		t.Fatal("missing runner accepted")
+	}
+}
+
+func TestRunConfigToolRejectsGarbage(t *testing.T) {
+	opts := TuningOptions{Runner: &scriptedRunner{walls: []float64{1}}}
+	if _, err := runConfigTool(opts, "not json", 1); err == nil {
+		t.Fatal("bad arguments accepted")
+	}
+	if _, err := runConfigTool(opts, `{"config": {}}`, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	entry, err := runConfigTool(opts, `{"config": {"a": 1}, "rationale": {"a": "why"}}`, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Iteration != 3 || entry.Rationale["a"] != "why" {
+		t.Fatalf("entry = %+v", entry)
+	}
+}
+
+func TestHistoryEntriesAreValidJSONForTheModel(t *testing.T) {
+	// The tool result given back to the model must round-trip as a
+	// HistoryEntry (that is how the stateless model reconstructs history).
+	e := protocol.HistoryEntry{Iteration: 2, Config: map[string]int64{"x": 1}, WallTime: 3.5}
+	text := protocol.MarshalJSONValue(e)
+	var back protocol.HistoryEntry
+	if err := json.Unmarshal([]byte(text), &back); err != nil || back.WallTime != 3.5 {
+		t.Fatalf("round trip: %v %+v", err, back)
+	}
+	_ = fmt.Sprint(back)
+}

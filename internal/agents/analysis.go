@@ -1,0 +1,137 @@
+// Package agents implements STELLAR's online tuning agents (§4.3): the
+// code-executing Analysis Agent, the tool-calling Tuning Agent that drives
+// the trial-and-error loop, and the Reflect & Summarize step. The agents
+// are backend-agnostic: they speak the protocol package's prompt format
+// through any llm.Client.
+package agents
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stellar/internal/dataframe"
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+)
+
+// maxMinorLoop bounds the Analysis Agent's code-execution iterations per
+// task, protecting against a misbehaving model.
+const maxMinorLoop = 6
+
+// chat routes through the meter when available so per-agent token and
+// cache statistics accumulate.
+func chat(client llm.Client, session string, req *llm.Request) (*llm.Response, error) {
+	if m, ok := client.(*llm.Meter); ok {
+		return m.ChatSession(session, req)
+	}
+	return client.Chat(req)
+}
+
+// AnalysisAgent analyses preprocessed Darshan dataframes by writing and
+// executing analysis programs until it can report.
+type AnalysisAgent struct {
+	Client llm.Client
+	Model  string
+
+	Frames dataframe.Env
+	Header string // Darshan header text
+	Docs   string // column-description companion
+
+	messages []llm.Message
+}
+
+// analysisTools is the tool surface offered to the Analysis Agent.
+var analysisTools = []llm.ToolDef{{
+	Name:        protocol.ToolExecProgram,
+	Description: "Execute an analysis program against the loaded dataframes and return its output.",
+	Schema:      `{"type":"object","properties":{"program":{"type":"object"}},"required":["program"]}`,
+}}
+
+// InitialReport runs the characterisation task and returns the I/O report
+// plus the structured features block parsed from it.
+func (a *AnalysisAgent) InitialReport() (string, *protocol.Features, error) {
+	task := protocol.Section(protocol.SecHeader, a.Header) +
+		protocol.Section(protocol.SecFrames, a.Docs) +
+		"Provide a high-level summary of the application's I/O behaviour: inspect the " +
+		"loaded dataframes, identify the files accessed, and highlight anything useful " +
+		"for tuning the file system parameters. Close your report with a '### " +
+		protocol.SecFeatures + "' JSON block."
+	a.messages = append(a.messages, llm.Message{Role: llm.RoleUser, Content: task})
+	report, err := a.loop()
+	if err != nil {
+		return "", nil, err
+	}
+	var feats *protocol.Features
+	if fsec, ok := protocol.ExtractSection(report+"\n### END\n", protocol.SecFeatures); ok {
+		if block, ok := protocol.FindJSONBlock(fsec); ok {
+			var f protocol.Features
+			if err := json.Unmarshal([]byte(block), &f); err == nil {
+				feats = &f
+			}
+		}
+	}
+	if feats == nil {
+		return "", nil, fmt.Errorf("agents: analysis report lacks a parseable %s block", protocol.SecFeatures)
+	}
+	return report, feats, nil
+}
+
+// Ask forwards a Tuning Agent follow-up question through the minor loop.
+func (a *AnalysisAgent) Ask(question string) (string, error) {
+	a.messages = append(a.messages, llm.Message{
+		Role:    llm.RoleUser,
+		Content: protocol.Section(protocol.SecQuestion, question),
+	})
+	return a.loop()
+}
+
+// loop drives model calls and program executions until the model answers
+// in plain content.
+func (a *AnalysisAgent) loop() (string, error) {
+	for i := 0; i < maxMinorLoop; i++ {
+		resp, err := chat(a.Client, "analysis-agent", &llm.Request{
+			Model:    a.Model,
+			System:   protocol.SysAnalysis,
+			Messages: a.messages,
+			Tools:    analysisTools,
+		})
+		if err != nil {
+			return "", fmt.Errorf("agents: analysis chat: %w", err)
+		}
+		a.messages = append(a.messages, resp.Message)
+		if len(resp.Message.ToolCalls) == 0 {
+			return resp.Message.Content, nil
+		}
+		for _, call := range resp.Message.ToolCalls {
+			if call.Name != protocol.ToolExecProgram {
+				return "", fmt.Errorf("agents: analysis agent called unknown tool %q", call.Name)
+			}
+			out := a.execProgram(call.Arguments)
+			a.messages = append(a.messages, llm.Message{
+				Role: llm.RoleTool, ToolCallID: call.ID, Content: out,
+			})
+		}
+	}
+	return "", fmt.Errorf("agents: analysis agent did not conclude within %d steps", maxMinorLoop)
+}
+
+// execProgram parses and executes the model-written analysis code,
+// returning output or an inline error message (which the model can react
+// to, like a stack trace from a code interpreter).
+func (a *AnalysisAgent) execProgram(args string) string {
+	var payload struct {
+		Program json.RawMessage `json:"program"`
+	}
+	if err := json.Unmarshal([]byte(args), &payload); err != nil {
+		return "execution error: bad tool arguments: " + err.Error()
+	}
+	prog, err := dataframe.ParseProgram(string(payload.Program))
+	if err != nil {
+		return "execution error: " + err.Error()
+	}
+	return prog.Exec(a.Frames)
+}
+
+// Messages exposes the conversation for transcripts and token accounting
+// inspection.
+func (a *AnalysisAgent) Messages() []llm.Message { return a.messages }

@@ -1,0 +1,271 @@
+package agents
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"stellar/internal/llm"
+	"stellar/internal/params"
+	"stellar/internal/protocol"
+	"stellar/internal/rules"
+)
+
+// Runner executes a candidate configuration against the real system (the
+// Configuration Runner Tool's backend: apply parameters, rerun the
+// application, collect performance feedback). core provides the
+// implementation with the reset-and-rerun hygiene protocol.
+type Runner interface {
+	Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
+}
+
+// TuningOptions configures one tuning run's main loop.
+type TuningOptions struct {
+	Client llm.Client
+	Model  string
+
+	Params   []*protocol.TunableParam // the offline phase's output
+	Cluster  string                   // hardware description
+	Report   string                   // Analysis Agent's I/O report ("" => No Analysis ablation)
+	Rules    *rules.Set               // global rule set (may be empty)
+	Defaults params.Config            // platform default configuration
+
+	InitialRun  protocol.HistoryEntry // iteration 0: the default-config execution
+	MaxAttempts int                   // configuration trials allowed (paper: 5)
+
+	Runner   Runner
+	Analysis *AnalysisAgent // nil disables the minor loop (No Analysis ablation)
+}
+
+// TuningResult is the outcome of the trial-and-error loop.
+type TuningResult struct {
+	History   []protocol.HistoryEntry
+	Best      protocol.HistoryEntry
+	EndReason string
+	Messages  []llm.Message // full Tuning Agent transcript
+	RuleSet   *rules.Set    // merged global rule set after Reflect & Summarize
+}
+
+// tuningTools is the Tuning Agent's tool surface (§4.3.2).
+var tuningTools = []llm.ToolDef{
+	{
+		Name:        protocol.ToolAnalysis,
+		Description: "Ask the Analysis Agent a specific question about the application's I/O behaviour.",
+		Schema:      `{"type":"object","properties":{"question":{"type":"string"}},"required":["question"]}`,
+	},
+	{
+		Name: protocol.ToolRunConfig,
+		Description: "Apply a new parameter configuration, rerun the target application, and " +
+			"observe its I/O performance. Document the rationale for every parameter value.",
+		Schema: `{"type":"object","properties":{"config":{"type":"object"},"rationale":{"type":"object"}},"required":["config"]}`,
+	},
+	{
+		Name:        protocol.ToolEndTuning,
+		Description: "Conclude the tuning process; only when further tuning would not elicit further gains.",
+		Schema:      `{"type":"object","properties":{"reason":{"type":"string"}},"required":["reason"]}`,
+	},
+}
+
+// maxAgentTurns bounds the main loop against non-terminating models.
+const maxAgentTurns = 24
+
+// RunTuning drives the main trial-and-error loop and the closing
+// Reflect & Summarize step.
+func RunTuning(opts TuningOptions) (*TuningResult, error) {
+	if opts.Runner == nil {
+		return nil, fmt.Errorf("agents: tuning needs a Runner")
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.Rules == nil {
+		opts.Rules = &rules.Set{}
+	}
+	report := opts.Report
+	if report == "" {
+		report = "(no I/O analysis available for this application)"
+	}
+	history := []protocol.HistoryEntry{opts.InitialRun}
+	first := protocol.Section(protocol.SecParams, protocol.MarshalJSONValue(opts.Params)) +
+		protocol.Section(protocol.SecCluster, opts.Cluster) +
+		protocol.Section(protocol.SecIOReport, report) +
+		protocol.Section(protocol.SecRules, opts.Rules.JSON()) +
+		protocol.Section(protocol.SecHistory, protocol.MarshalJSONValue(history)) +
+		protocol.Section("INSTRUCTIONS", fmt.Sprintf(
+			"Tune the file system for this application. You may try at most %d "+
+				"configurations. Use %s for missing information, %s to test a configuration "+
+				"(documenting the rationale behind each parameter value), and %s only when "+
+				"further tuning would not elicit further performance gains.",
+			opts.MaxAttempts, protocol.ToolAnalysis, protocol.ToolRunConfig, protocol.ToolEndTuning))
+
+	res := &TuningResult{History: history}
+	msgs := []llm.Message{{Role: llm.RoleUser, Content: first}}
+	for turn := 0; turn < maxAgentTurns; turn++ {
+		resp, err := chat(opts.Client, "tuning-agent", &llm.Request{
+			Model:    opts.Model,
+			System:   protocol.SysTuning,
+			Messages: msgs,
+			Tools:    tuningTools,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("agents: tuning chat: %w", err)
+		}
+		msgs = append(msgs, resp.Message)
+		if len(resp.Message.ToolCalls) == 0 {
+			// A plain answer without tool use concludes the loop with its
+			// content as the reason.
+			res.EndReason = resp.Message.Content
+			break
+		}
+		done := false
+		for _, call := range resp.Message.ToolCalls {
+			var toolOut string
+			switch call.Name {
+			case protocol.ToolAnalysis:
+				toolOut = runAnalysisTool(opts.Analysis, call.Arguments)
+			case protocol.ToolRunConfig:
+				entry, err := runConfigTool(opts, call.Arguments, len(res.History))
+				if err != nil {
+					toolOut = "tool error: " + err.Error()
+				} else {
+					res.History = append(res.History, entry)
+					toolOut = protocol.MarshalJSONValue(entry)
+				}
+			case protocol.ToolEndTuning:
+				var args struct {
+					Reason string `json:"reason"`
+				}
+				_ = json.Unmarshal([]byte(call.Arguments), &args)
+				res.EndReason = args.Reason
+				toolOut = "tuning concluded"
+				done = true
+			default:
+				toolOut = fmt.Sprintf("tool error: unknown tool %q", call.Name)
+			}
+			msgs = append(msgs, llm.Message{Role: llm.RoleTool, ToolCallID: call.ID, Content: toolOut})
+		}
+		if done {
+			break
+		}
+		// Enforce the attempt cap: force a stop like the paper's harness.
+		if len(res.History)-1 >= opts.MaxAttempts {
+			res.EndReason = fmt.Sprintf("stopped by the harness after %d configuration attempts",
+				opts.MaxAttempts)
+			break
+		}
+	}
+	if res.EndReason == "" {
+		res.EndReason = "stopped: agent did not conclude within the turn budget"
+	}
+	res.Messages = msgs
+	res.Best = bestEntry(res.History)
+
+	merged, err := reflect(opts, res)
+	if err != nil {
+		return nil, err
+	}
+	res.RuleSet = merged
+	return res, nil
+}
+
+func runAnalysisTool(a *AnalysisAgent, arguments string) string {
+	if a == nil {
+		return "analysis unavailable: the Analysis Agent is disabled"
+	}
+	var args struct {
+		Question string `json:"question"`
+	}
+	if err := json.Unmarshal([]byte(arguments), &args); err != nil || args.Question == "" {
+		return "tool error: analysis_request needs a question"
+	}
+	ans, err := a.Ask(args.Question)
+	if err != nil {
+		return "analysis failed: " + err.Error()
+	}
+	return ans
+}
+
+func runConfigTool(opts TuningOptions, arguments string, iteration int) (protocol.HistoryEntry, error) {
+	var args struct {
+		Config    map[string]int64  `json:"config"`
+		Rationale map[string]string `json:"rationale"`
+	}
+	if err := json.Unmarshal([]byte(arguments), &args); err != nil {
+		return protocol.HistoryEntry{}, fmt.Errorf("bad run_configuration arguments: %w", err)
+	}
+	if len(args.Config) == 0 {
+		return protocol.HistoryEntry{}, fmt.Errorf("run_configuration carried an empty config")
+	}
+	cfg := params.Config{}
+	for k, v := range args.Config {
+		cfg[k] = v
+	}
+	entry, err := opts.Runner.Run(cfg, args.Rationale)
+	if err != nil {
+		return protocol.HistoryEntry{}, err
+	}
+	entry.Iteration = iteration
+	entry.Rationale = args.Rationale
+	return entry, nil
+}
+
+func bestEntry(history []protocol.HistoryEntry) protocol.HistoryEntry {
+	best := history[0]
+	for _, h := range history[1:] {
+		if h.WallTime < best.WallTime {
+			best = h
+		}
+	}
+	return best
+}
+
+// reflect runs the Reflect & Summarize step, asking the model to distil
+// rules from the best configuration and merge them with the global set.
+func reflect(opts TuningOptions, res *TuningResult) (*rules.Set, error) {
+	feats := protocol.Features{}
+	if fsec, ok := protocol.ExtractSection(opts.Report+"\n### END\n", protocol.SecFeatures); ok {
+		if block, ok := protocol.FindJSONBlock(fsec); ok {
+			_ = json.Unmarshal([]byte(block), &feats)
+		}
+	}
+	type delta struct {
+		Param   string `json:"param"`
+		Value   int64  `json:"value"`
+		Default int64  `json:"default"`
+	}
+	var deltas []delta
+	for _, name := range sortedConfigKeys(res.Best.Config) {
+		def := opts.Defaults.Get(name, res.Best.Config[name])
+		deltas = append(deltas, delta{Param: name, Value: res.Best.Config[name], Default: def})
+	}
+	prompt := protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(feats)) +
+		protocol.Section(protocol.SecBest, protocol.MarshalJSONValue(deltas)) +
+		protocol.Section(protocol.SecRules, opts.Rules.JSON()) +
+		protocol.Section("INSTRUCTIONS",
+			"Summarize what was learned during this tuning run as a JSON rule set. Do not name "+
+				"the application; make general recommendations tied to the observed I/O behaviour. "+
+				"Merge with the existing rules: remove direct contradictions, keep differing but "+
+				"compatible guidance as alternatives.")
+	resp, err := chat(opts.Client, "tuning-agent", &llm.Request{
+		Model:    opts.Model,
+		System:   protocol.SysReflect,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: prompt}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("agents: reflect chat: %w", err)
+	}
+	block, ok := protocol.FindJSONBlock(resp.Message.Content)
+	if !ok {
+		return nil, fmt.Errorf("agents: reflection produced no JSON rule set")
+	}
+	return rules.Parse(block)
+}
+
+func sortedConfigKeys(cfg map[string]int64) []string {
+	out := make([]string, 0, len(cfg))
+	for k := range cfg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,206 @@
+// Package baseline implements the traditional autotuning strategies the
+// paper positions STELLAR against (§1, §3): black-box search methods that
+// need tens to hundreds of evaluations where STELLAR needs single digits.
+// They drive the same simulated platform through an Evaluator callback.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stellar/internal/params"
+)
+
+// Evaluator measures one configuration's wall time.
+type Evaluator func(cfg params.Config) (float64, error)
+
+// Result is a search outcome with its full evaluation trajectory.
+type Result struct {
+	Best       params.Config
+	BestWall   float64
+	Evals      int
+	Trajectory []float64 // best-so-far wall time after each evaluation
+}
+
+// fullEnv overlays the default configuration onto the system facts so
+// dependent bounds (e.g. per-file readahead vs the global budget) resolve.
+func fullEnv(env params.Env, defaults params.Config) params.Env {
+	out := make(params.Env, len(env)+len(defaults))
+	for k, v := range env {
+		out[k] = v
+	}
+	for k, v := range defaults {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// space describes the searchable values per parameter: black-box tuners
+// conventionally discretise each dimension.
+func space(reg *params.Registry, names []string, env params.Env) (map[string][]int64, error) {
+	out := map[string][]int64{}
+	for _, n := range names {
+		p, ok := reg.Get(n)
+		if !ok {
+			return nil, fmt.Errorf("baseline: unknown parameter %q", n)
+		}
+		lo, hi, err := p.Bounds(env)
+		if err != nil {
+			return nil, err
+		}
+		var vals []int64
+		switch {
+		case hi-lo <= 8:
+			for v := lo; v <= hi; v++ {
+				vals = append(vals, v)
+			}
+		default:
+			// Geometric ladder between the bounds.
+			vals = append(vals, lo)
+			v := lo
+			if v < 1 {
+				v = 1
+			}
+			for v < hi {
+				v *= 4
+				if v > hi {
+					v = hi
+				}
+				vals = append(vals, v)
+			}
+		}
+		out[n] = vals
+	}
+	return out, nil
+}
+
+// RandomSearch samples budget random configurations.
+func RandomSearch(reg *params.Registry, names []string, env params.Env,
+	defaults params.Config, budget int, seed int64, eval Evaluator) (*Result, error) {
+	env = fullEnv(env, defaults)
+	sp, err := space(reg, names, env)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{Best: defaults.Clone(), BestWall: math.Inf(1)}
+	for i := 0; i < budget; i++ {
+		cfg := defaults.Clone()
+		for _, n := range names {
+			vals := sp[n]
+			cfg[n] = vals[rng.Intn(len(vals))]
+		}
+		cfg, _ = params.Clamp(cfg, reg, env)
+		wall, err := eval(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Evals++
+		if wall < res.BestWall {
+			res.BestWall, res.Best = wall, cfg
+		}
+		res.Trajectory = append(res.Trajectory, res.BestWall)
+	}
+	return res, nil
+}
+
+// CoordinateDescent sweeps one parameter at a time, keeping improvements,
+// cycling until the budget runs out or a full pass yields no gain.
+func CoordinateDescent(reg *params.Registry, names []string, env params.Env,
+	defaults params.Config, budget int, eval Evaluator) (*Result, error) {
+	env = fullEnv(env, defaults)
+	sp, err := space(reg, names, env)
+	if err != nil {
+		return nil, err
+	}
+	cur := defaults.Clone()
+	wall, err := eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: cur.Clone(), BestWall: wall, Evals: 1, Trajectory: []float64{wall}}
+	for res.Evals < budget {
+		improved := false
+		for _, n := range names {
+			for _, v := range sp[n] {
+				if res.Evals >= budget {
+					return res, nil
+				}
+				if v == cur[n] {
+					continue
+				}
+				cand := cur.Clone()
+				cand[n] = v
+				cand, _ = params.Clamp(cand, reg, env)
+				w, err := eval(cand)
+				if err != nil {
+					return nil, err
+				}
+				res.Evals++
+				if w < res.BestWall {
+					res.BestWall, res.Best = w, cand.Clone()
+					cur = cand
+					improved = true
+				}
+				res.Trajectory = append(res.Trajectory, res.BestWall)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Anneal runs a simulated-annealing walk over the discretised space.
+func Anneal(reg *params.Registry, names []string, env params.Env,
+	defaults params.Config, budget int, seed int64, eval Evaluator) (*Result, error) {
+	env = fullEnv(env, defaults)
+	sp, err := space(reg, names, env)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := defaults.Clone()
+	curWall, err := eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: cur.Clone(), BestWall: curWall, Evals: 1, Trajectory: []float64{curWall}}
+	temp := curWall * 0.3
+	for res.Evals < budget {
+		n := names[rng.Intn(len(names))]
+		vals := sp[n]
+		cand := cur.Clone()
+		cand[n] = vals[rng.Intn(len(vals))]
+		cand, _ = params.Clamp(cand, reg, env)
+		w, err := eval(cand)
+		if err != nil {
+			return nil, err
+		}
+		res.Evals++
+		if w < curWall || rng.Float64() < math.Exp((curWall-w)/math.Max(temp, 1e-9)) {
+			cur, curWall = cand, w
+		}
+		if w < res.BestWall {
+			res.BestWall, res.Best = w, cand.Clone()
+		}
+		res.Trajectory = append(res.Trajectory, res.BestWall)
+		temp *= 0.95
+	}
+	return res, nil
+}
+
+// EvalsToReach returns how many evaluations a trajectory needed to reach
+// the target wall time (or -1 if it never did).
+func EvalsToReach(traj []float64, target float64) int {
+	for i, w := range traj {
+		if w <= target {
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+func fixture(t *testing.T) (*params.Registry, []string, params.Env, params.Config, Evaluator) {
+	t.Helper()
+	reg := params.Lustre()
+	spec := cluster.Default()
+	spec.ClientNodes, spec.ProcsPerNode, spec.OSTCount = 2, 2, 3
+	names := params.TunableNames(reg)
+	env := params.SystemEnv(int64(spec.MemoryMBPerNode), int64(spec.OSTCount), nil)
+	defaults := params.DefaultConfig(reg)
+	w := workload.IOR(workload.IORSpec{
+		Ranks: 4, TransferSize: 1 << 20, BlockSize: 8 << 20, Blocks: 1,
+		Random: false, ReadBack: false, Seed: 2,
+	}, 1.0)
+	calls := 0
+	eval := func(cfg params.Config) (float64, error) {
+		calls++
+		res, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(calls)})
+		if err != nil {
+			return 0, err
+		}
+		return res.WallTime, nil
+	}
+	return reg, names, env, defaults, eval
+}
+
+func TestRandomSearch(t *testing.T) {
+	reg, names, env, defaults, eval := fixture(t)
+	res, err := RandomSearch(reg, names, env, defaults, 12, 1, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 12 || len(res.Trajectory) != 12 {
+		t.Fatalf("evals = %d traj = %d", res.Evals, len(res.Trajectory))
+	}
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i] > res.Trajectory[i-1] {
+			t.Fatal("best-so-far trajectory must be non-increasing")
+		}
+	}
+	if err := params.Validate(res.Best, reg, env); err != nil {
+		t.Fatalf("best config invalid: %v", err)
+	}
+}
+
+func TestCoordinateDescentImproves(t *testing.T) {
+	reg, names, env, defaults, eval := fixture(t)
+	res, err := CoordinateDescent(reg, names, env, defaults, 30, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestWall > res.Trajectory[0] {
+		t.Fatal("descent ended worse than it started")
+	}
+	if res.Evals > 30 {
+		t.Fatalf("budget exceeded: %d", res.Evals)
+	}
+}
+
+func TestAnneal(t *testing.T) {
+	reg, names, env, defaults, eval := fixture(t)
+	res, err := Anneal(reg, names, env, defaults, 15, 7, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 15 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+	if res.BestWall > res.Trajectory[0] {
+		t.Fatal("annealing lost track of its best")
+	}
+}
+
+func TestEvalsToReach(t *testing.T) {
+	traj := []float64{10, 8, 8, 5, 5}
+	if n := EvalsToReach(traj, 8); n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	if n := EvalsToReach(traj, 1); n != -1 {
+		t.Fatalf("unreachable = %d", n)
+	}
+}
+
+func TestSpaceRejectsUnknown(t *testing.T) {
+	reg, _, env, defaults, eval := fixture(t)
+	if _, err := RandomSearch(reg, []string{"nope"}, env, defaults, 2, 1, eval); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}

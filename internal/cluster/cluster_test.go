@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultMirrorsPaperTestbed(t *testing.T) {
+	s := Default()
+	if s.ClientNodes != 5 || s.ProcsPerNode != 10 || s.TotalRanks() != 50 {
+		t.Fatalf("client topology = %d x %d", s.ClientNodes, s.ProcsPerNode)
+	}
+	if s.OSTCount != 5 || s.MDSCount != 1 {
+		t.Fatalf("server topology = %d OST / %d MDS", s.OSTCount, s.MDSCount)
+	}
+	if s.NICBandwidth != 10e9/8 {
+		t.Fatalf("nic = %g", s.NICBandwidth)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesNonsense(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.ClientNodes = 0 },
+		func(s *Spec) { s.ProcsPerNode = 0 },
+		func(s *Spec) { s.OSTCount = 0 },
+		func(s *Spec) { s.NICBandwidth = 0 },
+		func(s *Spec) { s.OSTServiceThreads = 0 },
+	}
+	for i, mutate := range cases {
+		s := Default()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestDescribeMentionsKeyFacts(t *testing.T) {
+	d := Default().Describe()
+	for _, want := range []string{"50 total", "5 OSTs", "10 Gbps"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("describe missing %q: %s", want, d)
+		}
+	}
+}

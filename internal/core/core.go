@@ -1,0 +1,318 @@
+// Package core is the STELLAR engine: it wires the offline RAG extraction,
+// the online agentic tuning loop, the rule-set accumulation, and the
+// paper's evaluation hygiene protocol (reset, remount, repeat, average)
+// on top of the simulated Lustre platform.
+package core
+
+import (
+	"fmt"
+
+	"stellar/internal/agents"
+	"stellar/internal/cluster"
+	"stellar/internal/darshan"
+	"stellar/internal/llm"
+	"stellar/internal/lustre"
+	"stellar/internal/manual"
+	"stellar/internal/params"
+	"stellar/internal/procfs"
+	"stellar/internal/protocol"
+	"stellar/internal/rag"
+	"stellar/internal/rules"
+	"stellar/internal/stats"
+	"stellar/internal/workload"
+)
+
+// Options configures an Engine.
+type Options struct {
+	Spec          cluster.Spec
+	TuningModel   string  // LLM acting as the Tuning Agent (paper: Claude-3.7-Sonnet)
+	AnalysisModel string  // LLM acting as the Analysis Agent (paper: GPT-4o)
+	ExtractModel  string  // LLM used in RAG extraction (paper: GPT-4o)
+	Scale         float64 // workload scale factor
+	MaxAttempts   int     // configuration trials per tuning run (paper: 5)
+	Seed          int64
+
+	// Ablation switches (§5.4).
+	DisableDescriptions bool // strip RAG-extracted descriptions (keep ranges)
+	DisableAnalysis     bool // remove the Analysis Agent entirely
+}
+
+// Engine is a configured STELLAR instance bound to one cluster.
+type Engine struct {
+	opts    Options
+	reg     *params.Registry
+	tree    *procfs.Tree
+	client  llm.Client
+	meter   *llm.Meter
+	tunable []*protocol.TunableParam
+	rules   *rules.Set
+}
+
+// New creates an engine. client is the LLM backend (simllm offline, or an
+// httpllm client online); it is wrapped in a Meter for cost accounting.
+func New(client llm.Client, opts Options) *Engine {
+	if opts.Scale == 0 {
+		opts.Scale = workload.DefaultScale
+	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 5
+	}
+	reg := params.Lustre()
+	return &Engine{
+		opts:   opts,
+		reg:    reg,
+		tree:   procfs.New(reg),
+		client: client,
+		meter:  llm.NewMeter(client),
+		rules:  &rules.Set{},
+	}
+}
+
+// Registry exposes the parameter registry.
+func (e *Engine) Registry() *params.Registry { return e.reg }
+
+// Rules returns the current global rule set.
+func (e *Engine) Rules() *rules.Set { return e.rules }
+
+// SetRules replaces the global rule set (e.g. to reset between scenarios).
+func (e *Engine) SetRules(s *rules.Set) {
+	if s == nil {
+		s = &rules.Set{}
+	}
+	e.rules = s
+}
+
+// Tunables returns the offline phase's extracted parameters, running the
+// extraction on first use.
+func (e *Engine) Tunables() ([]*protocol.TunableParam, error) {
+	if e.tunable != nil {
+		return e.tunable, nil
+	}
+	_, err := e.Offline()
+	return e.tunable, err
+}
+
+// Offline runs the RAG-based parameter extraction (§4.2): chunk the manual,
+// build the vector index, filter writable parameters, extract definitions
+// and ranges, and keep only the high-impact tunables.
+func (e *Engine) Offline() (*rag.ExtractorReport, error) {
+	text := manual.FullText(e.reg)
+	chunks := rag.ChunkText(text, 1024, 20)
+	emb := rag.NewHashedTFIDF(384, chunks)
+	index := rag.NewIndex(emb, chunks)
+	ex := &rag.Extractor{Index: index, Client: e.meter, Model: e.opts.ExtractModel, TopK: 20}
+	tunables, report, err := ex.ExtractAll(e.tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline extraction: %w", err)
+	}
+	e.tunable = tunables
+	return report, nil
+}
+
+// RunOutcome is one measured application execution.
+type RunOutcome struct {
+	WallTime float64
+	Result   *lustre.Result
+}
+
+// execute runs the workload under cfg with the between-runs hygiene
+// protocol (fresh file system state, caches, and mounts — a fresh
+// simulator instance gives exactly that).
+func (e *Engine) execute(w *workload.Workload, cfg params.Config, seed int64, sink lustre.TraceSink) (*RunOutcome, error) {
+	full := params.DefaultConfig(e.reg)
+	for k, v := range cfg {
+		full[k] = v
+	}
+	if err := e.tree.Apply(full); err != nil {
+		return nil, err
+	}
+	res, err := lustre.Run(w, lustre.Options{
+		Spec: e.opts.Spec, Config: e.tree.Snapshot(), Seed: seed, Trace: sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.tree.ResetDefaults()
+	return &RunOutcome{WallTime: res.WallTime, Result: res}, nil
+}
+
+// Evaluate measures a configuration over reps repetitions with distinct
+// seeds, as the paper's eight-run averaging does.
+func (e *Engine) Evaluate(workloadName string, cfg params.Config, reps int, seedBase int64) (stats.Summary, error) {
+	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	var walls []float64
+	for i := 0; i < reps; i++ {
+		out, err := e.execute(w, cfg, seedBase+int64(i)*101, nil)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		walls = append(walls, out.WallTime)
+	}
+	return stats.Summarize(walls), nil
+}
+
+// TuneResult is the outcome of one complete Tuning Run.
+type TuneResult struct {
+	Workload  string
+	History   []protocol.HistoryEntry // entry 0 = default execution
+	Best      protocol.HistoryEntry
+	BestCfg   params.Config
+	EndReason string
+	Report    string
+	Usage     map[string]llm.Usage // per agent session
+	Requests  map[string]int
+	Messages  []llm.Message // tuning agent transcript (Fig. 10)
+	Analysis  []llm.Message // analysis agent transcript
+}
+
+// Speedups returns the per-iteration speedup series relative to the
+// default execution (iteration 0 = 1.0), the Figure 6/7 y-axis.
+func (r *TuneResult) Speedups() []float64 {
+	out := make([]float64, len(r.History))
+	base := r.History[0].WallTime
+	for i, h := range r.History {
+		out[i] = base / h.WallTime
+	}
+	return out
+}
+
+// runnerFunc adapts a closure to agents.Runner.
+type runnerFunc func(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
+
+func (f runnerFunc) Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+	return f(cfg, rationale)
+}
+
+// Tune performs one complete Tuning Run on the named workload: initial
+// default execution with Darshan tracing, Analysis Agent report, the
+// Tuning Agent's trial-and-error loop, and rule-set accumulation.
+func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
+	tunables, err := e.Tunables()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	// Fresh cost-accounting lineage per tuning run.
+	e.meter.Reset("tuning-agent")
+	e.meter.Reset("analysis-agent")
+
+	seed := e.opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Initial run with Darshan instrumentation.
+	collector := darshan.NewCollector(w.Interface)
+	defaults := params.DefaultConfig(e.reg)
+	initial, err := e.execute(w, defaults, seed, collector)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial run: %w", err)
+	}
+	log := collector.Log("1", w.Name, w.NumRanks())
+
+	// Analysis Agent (unless ablated).
+	var analysis *agents.AnalysisAgent
+	report := ""
+	if !e.opts.DisableAnalysis {
+		analysis = &agents.AnalysisAgent{
+			Client: e.meter,
+			Model:  e.opts.AnalysisModel,
+			Frames: log.Frames(),
+			Header: log.HeaderText(),
+			Docs:   log.ColumnDocs(),
+		}
+		report, _, err = analysis.InitialReport()
+		if err != nil {
+			return nil, fmt.Errorf("core: analysis report: %w", err)
+		}
+	}
+
+	agentParams := tunables
+	if e.opts.DisableDescriptions {
+		agentParams = stripDescriptions(tunables)
+	}
+
+	iter := 0
+	runner := runnerFunc(func(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+		iter++
+		out, err := e.execute(w, cfg, seed+int64(iter)*31, nil)
+		if err != nil {
+			return protocol.HistoryEntry{}, err
+		}
+		return protocol.HistoryEntry{
+			Config:   map[string]int64(cfg),
+			WallTime: out.WallTime,
+			Clamped:  out.Result.Clamped,
+		}, nil
+	})
+
+	tres, err := agents.RunTuning(agents.TuningOptions{
+		Client:   e.meter,
+		Model:    e.opts.TuningModel,
+		Params:   agentParams,
+		Cluster:  e.opts.Spec.Describe(),
+		Report:   report,
+		Rules:    e.rules,
+		Defaults: defaults,
+		InitialRun: protocol.HistoryEntry{
+			Iteration: 0,
+			Config:    map[string]int64(defaults),
+			WallTime:  initial.WallTime,
+		},
+		MaxAttempts: e.opts.MaxAttempts,
+		Runner:      runner,
+		Analysis:    analysis,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Rule accumulation: the merged set becomes the new global set.
+	if tres.RuleSet != nil {
+		e.rules = tres.RuleSet
+	}
+
+	out := &TuneResult{
+		Workload:  workloadName,
+		History:   tres.History,
+		Best:      tres.Best,
+		BestCfg:   configOf(tres.Best),
+		EndReason: tres.EndReason,
+		Report:    report,
+		Usage:     map[string]llm.Usage{},
+		Requests:  map[string]int{},
+		Messages:  tres.Messages,
+	}
+	if analysis != nil {
+		out.Analysis = analysis.Messages()
+	}
+	for _, s := range []string{"tuning-agent", "analysis-agent"} {
+		out.Usage[s] = e.meter.SessionUsage(s)
+		out.Requests[s] = e.meter.SessionRequests(s)
+	}
+	return out, nil
+}
+
+func configOf(h protocol.HistoryEntry) params.Config {
+	cfg := params.Config{}
+	for k, v := range h.Config {
+		cfg[k] = v
+	}
+	return cfg
+}
+
+func stripDescriptions(in []*protocol.TunableParam) []*protocol.TunableParam {
+	out := make([]*protocol.TunableParam, len(in))
+	for i, p := range in {
+		cp := *p
+		cp.Description = ""
+		cp.Impact = ""
+		out[i] = &cp
+	}
+	return out
+}

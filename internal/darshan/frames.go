@@ -1,0 +1,94 @@
+package darshan
+
+import (
+	"fmt"
+	"strings"
+
+	"stellar/internal/dataframe"
+)
+
+// Frames converts the log into per-module dataframes, mirroring the paper's
+// preprocessing: "extracts counters for each module (e.g., POSIX, MPI-IO)
+// from Darshan and loads them into separate dataframes with corresponding
+// counter descriptions."
+func (l *Log) Frames() dataframe.Env {
+	perModule := map[string][]*Record{}
+	for _, r := range l.Records {
+		perModule[r.Module] = append(perModule[r.Module], r)
+	}
+	env := dataframe.Env{}
+	for mod, recs := range perModule {
+		f := dataframe.New(mod)
+		n := len(recs)
+		file := &dataframe.Column{Name: "file", Desc: "file identifier", Strs: make([]string, n)}
+		addNum := func(name, desc string, get func(*Record) float64) {
+			col := &dataframe.Column{Name: name, Desc: desc, Floats: make([]float64, n)}
+			for i, r := range recs {
+				col.Floats[i] = get(r)
+			}
+			f.MustAdd(col)
+		}
+		for i, r := range recs {
+			file.Strs[i] = fmt.Sprintf("file_%d", r.FileID)
+		}
+		f.MustAdd(file)
+		p := mod
+		if p == "MPI-IO" {
+			p = "MPIIO"
+		}
+		addNum(p+"_OPENS", "number of open/create operations", func(r *Record) float64 { return float64(r.Opens) })
+		addNum(p+"_READS", "number of read operations", func(r *Record) float64 { return float64(r.Reads) })
+		addNum(p+"_WRITES", "number of write operations", func(r *Record) float64 { return float64(r.Writes) })
+		addNum(p+"_STATS", "number of stat operations", func(r *Record) float64 { return float64(r.Stats) })
+		addNum(p+"_FSYNCS", "number of fsync operations", func(r *Record) float64 { return float64(r.Fsyncs) })
+		addNum(p+"_UNLINKS", "number of unlink operations", func(r *Record) float64 { return float64(r.Unlinks) })
+		addNum(p+"_BYTES_READ", "total bytes read", func(r *Record) float64 { return float64(r.BytesRead) })
+		addNum(p+"_BYTES_WRITTEN", "total bytes written", func(r *Record) float64 { return float64(r.BytesWritten) })
+		addNum(p+"_SEQ_READS", "reads continuing the previous access (sequential)", func(r *Record) float64 { return float64(r.SeqReads) })
+		addNum(p+"_SEQ_WRITES", "writes continuing the previous access (sequential)", func(r *Record) float64 { return float64(r.SeqWrites) })
+		addNum(p+"_F_READ_TIME", "cumulative seconds spent in reads", func(r *Record) float64 { return r.ReadTime })
+		addNum(p+"_F_WRITE_TIME", "cumulative seconds spent in writes", func(r *Record) float64 { return r.WriteTime })
+		addNum(p+"_F_META_TIME", "cumulative seconds spent in metadata operations", func(r *Record) float64 { return r.MetaTime })
+		addNum(p+"_MAX_BYTE_READ", "highest offset read", func(r *Record) float64 { return float64(r.MaxByteRead) })
+		addNum(p+"_MAX_BYTE_WRITTEN", "highest offset written", func(r *Record) float64 { return float64(r.MaxByteWritten) })
+		addNum(p+"_RANKS", "number of distinct MPI ranks accessing the file", func(r *Record) float64 { return float64(r.Ranks()) })
+		addNum(p+"_F_VARIANCE_RANK_TIME", "variance of per-rank I/O time", func(r *Record) float64 { return r.VarianceRankTime() })
+		addNum(p+"_F_SLOWEST_RANK_TIME", "I/O time of the slowest rank", func(r *Record) float64 { return r.SlowestRankTime() })
+		addNum(p+"_F_FASTEST_RANK_TIME", "I/O time of the fastest rank", func(r *Record) float64 { return r.FastestRankTime() })
+		for bi, bn := range sizeBucketNames {
+			bi := bi
+			addNum(p+"_"+bn+"_READ", "reads with access size in "+bucketRange(bi),
+				func(r *Record) float64 { return float64(r.ReadSizeBuckets[bi]) })
+			addNum(p+"_"+bn+"_WRITE", "writes with access size in "+bucketRange(bi),
+				func(r *Record) float64 { return float64(r.WriteSizeBuckets[bi]) })
+		}
+		env[mod] = f
+	}
+	return env
+}
+
+func bucketRange(i int) string {
+	bounds := []string{"0-100 B", "100 B-1 KiB", "1-10 KiB", "10-100 KiB",
+		"100 KiB-1 MiB", "1-4 MiB", "4-10 MiB", "10-100 MiB", ">=100 MiB"}
+	return bounds[i]
+}
+
+// ColumnDocs renders the column-description companion for all frames.
+func (l *Log) ColumnDocs() string {
+	env := l.Frames()
+	var names []string
+	for k := range env {
+		names = append(names, k)
+	}
+	// stable order: POSIX first, then others alphabetically
+	var b strings.Builder
+	if f, ok := env["POSIX"]; ok {
+		b.WriteString(f.ColumnDocs())
+	}
+	for _, k := range names {
+		if k != "POSIX" {
+			b.WriteString(env[k].ColumnDocs())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+// Package dataframe provides the small columnar frame STELLAR's
+// preprocessing turns Darshan logs into (§4.1: "a set of Pandas DataFrames,
+// accompanied by a separate file describing the meaning of each column"),
+// plus the analysis-operation interpreter through which the Analysis Agent
+// "writes and executes" analysis code.
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Column is a named, documented column of either numeric or string values.
+type Column struct {
+	Name   string
+	Desc   string
+	Floats []float64 // numeric column when Strs is nil
+	Strs   []string  // string column when non-nil
+}
+
+// IsString reports whether the column holds strings.
+func (c *Column) IsString() bool { return c.Strs != nil }
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.IsString() {
+		return len(c.Strs)
+	}
+	return len(c.Floats)
+}
+
+// Frame is a named table of equally sized columns.
+type Frame struct {
+	Name string
+	cols []*Column
+	idx  map[string]*Column
+}
+
+// New creates an empty frame.
+func New(name string) *Frame {
+	return &Frame{Name: name, idx: make(map[string]*Column)}
+}
+
+// AddColumn appends a column; all columns must have equal length.
+func (f *Frame) AddColumn(c *Column) error {
+	if _, dup := f.idx[c.Name]; dup {
+		return fmt.Errorf("dataframe: duplicate column %q in %s", c.Name, f.Name)
+	}
+	if len(f.cols) > 0 && c.Len() != f.Rows() {
+		return fmt.Errorf("dataframe: column %q has %d rows, frame %s has %d",
+			c.Name, c.Len(), f.Name, f.Rows())
+	}
+	f.cols = append(f.cols, c)
+	f.idx[c.Name] = c
+	return nil
+}
+
+// MustAdd is AddColumn that panics on error, for construction code.
+func (f *Frame) MustAdd(c *Column) {
+	if err := f.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the row count.
+func (f *Frame) Rows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].Len()
+}
+
+// Columns returns the column list in insertion order.
+func (f *Frame) Columns() []*Column { return f.cols }
+
+// Col looks a column up by name.
+func (f *Frame) Col(name string) (*Column, bool) {
+	c, ok := f.idx[name]
+	return c, ok
+}
+
+// ColumnDocs renders the "column meanings" companion text.
+func (f *Frame) ColumnDocs() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Frame %s (%d rows):\n", f.Name, f.Rows())
+	for _, c := range f.cols {
+		kind := "number"
+		if c.IsString() {
+			kind = "string"
+		}
+		fmt.Fprintf(&b, "  - %s (%s): %s\n", c.Name, kind, c.Desc)
+	}
+	return b.String()
+}
+
+// Filter returns a new frame with only rows where keep is true.
+func (f *Frame) Filter(keep []bool) *Frame {
+	out := New(f.Name)
+	for _, c := range f.cols {
+		nc := &Column{Name: c.Name, Desc: c.Desc}
+		if c.IsString() {
+			nc.Strs = []string{}
+			for i, k := range keep {
+				if k {
+					nc.Strs = append(nc.Strs, c.Strs[i])
+				}
+			}
+		} else {
+			for i, k := range keep {
+				if k {
+					nc.Floats = append(nc.Floats, c.Floats[i])
+				}
+			}
+		}
+		out.MustAdd(nc)
+	}
+	return out
+}
+
+// Agg enumerates aggregate functions.
+type Agg string
+
+const (
+	AggSum   Agg = "sum"
+	AggMean  Agg = "mean"
+	AggMin   Agg = "min"
+	AggMax   Agg = "max"
+	AggCount Agg = "count"
+)
+
+// Aggregate applies agg to a numeric column.
+func (f *Frame) Aggregate(col string, agg Agg) (float64, error) {
+	c, ok := f.Col(col)
+	if !ok {
+		return 0, fmt.Errorf("dataframe: no column %q in %s", col, f.Name)
+	}
+	if c.IsString() && agg != AggCount {
+		return 0, fmt.Errorf("dataframe: column %q is not numeric", col)
+	}
+	n := c.Len()
+	if agg == AggCount {
+		return float64(n), nil
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	switch agg {
+	case AggSum, AggMean:
+		s := 0.0
+		for _, v := range c.Floats {
+			s += v
+		}
+		if agg == AggMean {
+			return s / float64(n), nil
+		}
+		return s, nil
+	case AggMin:
+		m := math.Inf(1)
+		for _, v := range c.Floats {
+			m = math.Min(m, v)
+		}
+		return m, nil
+	case AggMax:
+		m := math.Inf(-1)
+		for _, v := range c.Floats {
+			m = math.Max(m, v)
+		}
+		return m, nil
+	}
+	return 0, fmt.Errorf("dataframe: unknown aggregate %q", agg)
+}
+
+// GroupBy groups rows by a string column and aggregates a numeric column
+// within each group, returning group names and values sorted by group.
+func (f *Frame) GroupBy(key, val string, agg Agg) ([]string, []float64, error) {
+	kc, ok := f.Col(key)
+	if !ok || !kc.IsString() {
+		return nil, nil, fmt.Errorf("dataframe: group key %q missing or not a string column", key)
+	}
+	groups := map[string][]float64{}
+	if agg == AggCount {
+		for _, k := range kc.Strs {
+			groups[k] = append(groups[k], 1)
+		}
+	} else {
+		vc, ok := f.Col(val)
+		if !ok || vc.IsString() {
+			return nil, nil, fmt.Errorf("dataframe: value column %q missing or not numeric", val)
+		}
+		for i, k := range kc.Strs {
+			groups[k] = append(groups[k], vc.Floats[i])
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for k := range groups {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	vals := make([]float64, len(names))
+	for i, k := range names {
+		vals[i] = reduce(groups[k], agg)
+	}
+	return names, vals, nil
+}
+
+func reduce(vs []float64, agg Agg) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	switch agg {
+	case AggCount:
+		return float64(len(vs))
+	case AggSum:
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	case AggMean:
+		return reduce(vs, AggSum) / float64(len(vs))
+	case AggMin:
+		m := vs[0]
+		for _, v := range vs {
+			m = math.Min(m, v)
+		}
+		return m
+	case AggMax:
+		m := vs[0]
+		for _, v := range vs {
+			m = math.Max(m, v)
+		}
+		return m
+	}
+	return math.NaN()
+}
+
+// TopK returns the row indices of the k largest values of a numeric column.
+func (f *Frame) TopK(col string, k int) ([]int, error) {
+	c, ok := f.Col(col)
+	if !ok || c.IsString() {
+		return nil, fmt.Errorf("dataframe: top-k column %q missing or not numeric", col)
+	}
+	idx := make([]int, c.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return c.Floats[idx[a]] > c.Floats[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k], nil
+}
+
+// String renders the frame as an aligned text table (capped at 20 rows),
+// the form in which results surface in agent transcripts.
+func (f *Frame) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%d rows]\n", f.Name, f.Rows())
+	var hdr []string
+	for _, c := range f.cols {
+		hdr = append(hdr, c.Name)
+	}
+	fmt.Fprintln(&b, strings.Join(hdr, "\t"))
+	n := f.Rows()
+	if n > 20 {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		var row []string
+		for _, c := range f.cols {
+			if c.IsString() {
+				row = append(row, c.Strs[i])
+			} else {
+				row = append(row, trimFloat(c.Floats[i]))
+			}
+		}
+		fmt.Fprintln(&b, strings.Join(row, "\t"))
+	}
+	if f.Rows() > 20 {
+		fmt.Fprintf(&b, "... (%d more rows)\n", f.Rows()-20)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,163 @@
+package dataframe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Frame {
+	f := New("POSIX")
+	f.MustAdd(&Column{Name: "file", Desc: "file id", Strs: []string{"a", "b", "c", "d"}})
+	f.MustAdd(&Column{Name: "reads", Desc: "read count", Floats: []float64{10, 0, 5, 1}})
+	f.MustAdd(&Column{Name: "writes", Desc: "write count", Floats: []float64{2, 8, 0, 6}})
+	f.MustAdd(&Column{Name: "mod", Desc: "module", Strs: []string{"x", "y", "x", "y"}})
+	return f
+}
+
+func TestAddColumnChecks(t *testing.T) {
+	f := New("t")
+	f.MustAdd(&Column{Name: "a", Floats: []float64{1, 2}})
+	if err := f.AddColumn(&Column{Name: "a", Floats: []float64{1, 2}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := f.AddColumn(&Column{Name: "b", Floats: []float64{1}}); err == nil {
+		t.Fatal("ragged column accepted")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	f := sample()
+	cases := []struct {
+		agg  Agg
+		want float64
+	}{
+		{AggSum, 16}, {AggMean, 4}, {AggMin, 0}, {AggMax, 10}, {AggCount, 4},
+	}
+	for _, c := range cases {
+		got, err := f.Aggregate("reads", c.agg)
+		if err != nil || got != c.want {
+			t.Errorf("%s = %g (err %v), want %g", c.agg, got, err, c.want)
+		}
+	}
+	if _, err := f.Aggregate("nope", AggSum); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := f.Aggregate("file", AggSum); err == nil {
+		t.Error("string column summed")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	f := sample()
+	names, vals, err := f.GroupBy("mod", "reads", AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("groups = %v", names)
+	}
+	if vals[0] != 15 || vals[1] != 1 {
+		t.Fatalf("vals = %v", vals)
+	}
+	_, cnt, err := f.GroupBy("mod", "", AggCount)
+	if err != nil || cnt[0] != 2 || cnt[1] != 2 {
+		t.Fatalf("count groupby = %v err=%v", cnt, err)
+	}
+}
+
+func TestTopKAndFilter(t *testing.T) {
+	f := sample()
+	idx, err := f.TopK("reads", 2)
+	if err != nil || len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("topk = %v err=%v", idx, err)
+	}
+	sub := f.Filter([]bool{true, false, true, false})
+	if sub.Rows() != 2 {
+		t.Fatalf("filter rows = %d", sub.Rows())
+	}
+	v, _ := sub.Aggregate("reads", AggSum)
+	if v != 15 {
+		t.Fatalf("filtered sum = %g", v)
+	}
+}
+
+func TestColumnDocsAndString(t *testing.T) {
+	f := sample()
+	docs := f.ColumnDocs()
+	for _, want := range []string{"reads (number): read count", "file (string): file id"} {
+		if !strings.Contains(docs, want) {
+			t.Errorf("docs missing %q:\n%s", want, docs)
+		}
+	}
+	s := f.String()
+	if !strings.Contains(s, "POSIX [4 rows]") {
+		t.Errorf("render = %s", s)
+	}
+}
+
+func TestProgramParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "{}", `{"steps":[]}`, `{"bogus": 1}`} {
+		if _, err := ParseProgram(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestProgramExec(t *testing.T) {
+	f := sample()
+	env := Env{"POSIX": f}
+	prog, err := ParseProgram(`{"steps":[
+		{"op":"describe","frame":"POSIX","label":"schema"},
+		{"op":"agg","frame":"POSIX","column":"reads","agg":"sum"},
+		{"op":"groupby","frame":"POSIX","key":"mod","column":"writes","agg":"max"},
+		{"op":"ratio","frame":"POSIX","num":"reads","den":"writes"},
+		{"op":"topk","frame":"POSIX","column":"writes","k":1},
+		{"op":"filter_agg","frame":"POSIX","where":"reads","cmp":">","value":1,"column":"writes","agg":"sum"}
+	]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prog.Exec(env)
+	for _, want := range []string{
+		"## schema",
+		"sum(POSIX.reads) = 16",
+		"x: 2", "y: 8",
+		"sum(reads)/sum(writes) = 1",
+		"b reads=0 writes=8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramExecStepErrorsInline(t *testing.T) {
+	prog, _ := ParseProgram(`{"steps":[{"op":"agg","frame":"NOPE","column":"x","agg":"sum"}]}`)
+	out := prog.Exec(Env{})
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("step error not reported inline: %s", out)
+	}
+}
+
+// Property: sum equals mean times count for random numeric columns.
+func TestSumMeanConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		col := &Column{Name: "v", Floats: make([]float64, n)}
+		for i := range col.Floats {
+			col.Floats[i] = rng.Float64()*100 - 50
+		}
+		fr := New("t")
+		fr.MustAdd(col)
+		sum, _ := fr.Aggregate("v", AggSum)
+		mean, _ := fr.Aggregate("v", AggMean)
+		diff := sum - mean*float64(n)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package dataframe
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Program is the analysis "code" the Analysis Agent writes: a JSON list of
+// operations executed against a set of frames. It stands in for the
+// paper's OpenInterpreter-executed Python while keeping the same contract
+// (the agent decides what to compute; the interpreter runs it and returns
+// textual results).
+type Program struct {
+	Steps []Step `json:"steps"`
+}
+
+// Step is one analysis operation.
+type Step struct {
+	Op     string  `json:"op"`               // describe | agg | groupby | topk | ratio | filter_agg
+	Frame  string  `json:"frame"`            // target frame name
+	Column string  `json:"column,omitempty"` // value column
+	Key    string  `json:"key,omitempty"`    // group key column
+	Agg    Agg     `json:"agg,omitempty"`
+	K      int     `json:"k,omitempty"`
+	Num    string  `json:"num,omitempty"`   // ratio numerator column
+	Den    string  `json:"den,omitempty"`   // ratio denominator column
+	Where  string  `json:"where,omitempty"` // filter column (numeric)
+	Cmp    string  `json:"cmp,omitempty"`   // ">", "<", ">=", "<=", "=="
+	Value  float64 `json:"value,omitempty"`
+	Label  string  `json:"label,omitempty"` // caption in the output
+}
+
+// ParseProgram decodes the JSON form.
+func ParseProgram(src string) (*Program, error) {
+	var p Program
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("dataframe: bad program: %w", err)
+	}
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("dataframe: program has no steps")
+	}
+	return &p, nil
+}
+
+// Env is the set of frames a program may reference.
+type Env map[string]*Frame
+
+// Exec runs the program and returns the textual results, one block per
+// step. Errors in individual steps are reported inline (the agent sees them
+// and can retry), mirroring code-executing agent behaviour.
+func (p *Program) Exec(env Env) string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		label := s.Label
+		if label == "" {
+			label = fmt.Sprintf("step %d (%s)", i+1, s.Op)
+		}
+		fmt.Fprintf(&b, "## %s\n", label)
+		out, err := execStep(s, env)
+		if err != nil {
+			fmt.Fprintf(&b, "error: %v\n", err)
+			continue
+		}
+		b.WriteString(out)
+		if !strings.HasSuffix(out, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func execStep(s Step, env Env) (string, error) {
+	f, ok := env[s.Frame]
+	if !ok {
+		return "", fmt.Errorf("no frame named %q", s.Frame)
+	}
+	switch s.Op {
+	case "describe":
+		return f.ColumnDocs(), nil
+	case "agg":
+		v, err := f.Aggregate(s.Column, s.Agg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s(%s.%s) = %s", s.Agg, s.Frame, s.Column, trimFloat(v)), nil
+	case "groupby":
+		names, vals, err := f.GroupBy(s.Key, s.Column, s.Agg)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for i, n := range names {
+			fmt.Fprintf(&b, "%s: %s\n", n, trimFloat(vals[i]))
+		}
+		return b.String(), nil
+	case "topk":
+		k := s.K
+		if k <= 0 {
+			k = 5
+		}
+		idx, err := f.TopK(s.Column, k)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, i := range idx {
+			var parts []string
+			for _, c := range f.Columns() {
+				if c.IsString() {
+					parts = append(parts, c.Strs[i])
+				} else {
+					parts = append(parts, c.Name+"="+trimFloat(c.Floats[i]))
+				}
+			}
+			fmt.Fprintln(&b, strings.Join(parts, " "))
+		}
+		return b.String(), nil
+	case "ratio":
+		num, err := f.Aggregate(s.Num, AggSum)
+		if err != nil {
+			return "", err
+		}
+		den, err := f.Aggregate(s.Den, AggSum)
+		if err != nil {
+			return "", err
+		}
+		if den == 0 {
+			return fmt.Sprintf("sum(%s)/sum(%s) undefined (denominator 0; numerator %s)",
+				s.Num, s.Den, trimFloat(num)), nil
+		}
+		return fmt.Sprintf("sum(%s)/sum(%s) = %.4g", s.Num, s.Den, num/den), nil
+	case "filter_agg":
+		c, ok := f.Col(s.Where)
+		if !ok || c.IsString() {
+			return "", fmt.Errorf("filter column %q missing or not numeric", s.Where)
+		}
+		keep := make([]bool, f.Rows())
+		for i, v := range c.Floats {
+			switch s.Cmp {
+			case ">":
+				keep[i] = v > s.Value
+			case "<":
+				keep[i] = v < s.Value
+			case ">=":
+				keep[i] = v >= s.Value
+			case "<=":
+				keep[i] = v <= s.Value
+			case "==":
+				keep[i] = v == s.Value
+			default:
+				return "", fmt.Errorf("bad comparison %q", s.Cmp)
+			}
+		}
+		sub := f.Filter(keep)
+		v, err := sub.Aggregate(s.Column, s.Agg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s(%s.%s | %s %s %s) = %s [%d rows]",
+			s.Agg, s.Frame, s.Column, s.Where, s.Cmp, trimFloat(s.Value),
+			trimFloat(v), sub.Rows()), nil
+	}
+	return "", fmt.Errorf("unknown op %q", s.Op)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"stellar/internal/protocol"
+)
+
+// Fig10CaseStudy renders the paper's Figure 10: a granular timeline of one
+// MDWorkbench_8K tuning run — initial report, follow-up analysis, each
+// configuration with its rationale and observed result, the stop decision,
+// and a sample generated rule.
+func Fig10CaseStudy(c Config) (string, error) {
+	c = c.Defaults()
+	eng := newEngine(c, "", false, false)
+	res, err := eng.Tune("MDWorkbench_8K")
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("== Figure 10: case study — tuning MDWorkbench_8K ==\n\n")
+	fmt.Fprintf(&b, "[t0] initial run with default settings: %.3f s\n", res.History[0].WallTime)
+
+	b.WriteString("\n--- Analysis Agent: initial I/O report (excerpt) ---\n")
+	b.WriteString(indent(excerpt(res.Report, 5), "    "))
+
+	// Walk the tuning transcript for follow-up questions and decisions.
+	step := 0
+	for _, m := range res.Messages {
+		for _, call := range m.ToolCalls {
+			switch call.Name {
+			case protocol.ToolAnalysis:
+				var args struct {
+					Question string `json:"question"`
+				}
+				_ = json.Unmarshal([]byte(call.Arguments), &args)
+				fmt.Fprintf(&b, "\n--- Tuning Agent asks the Analysis Agent ---\n    %q\n", args.Question)
+			case protocol.ToolRunConfig:
+				step++
+				var args struct {
+					Config    map[string]int64  `json:"config"`
+					Rationale map[string]string `json:"rationale"`
+				}
+				_ = json.Unmarshal([]byte(call.Arguments), &args)
+				fmt.Fprintf(&b, "\n--- Configuration attempt %d ---\n", step)
+				for _, k := range sortedKeys(args.Config) {
+					line := fmt.Sprintf("    %s = %d", k, args.Config[k])
+					if why := args.Rationale[k]; why != "" {
+						line += "  # " + why
+					}
+					b.WriteString(line + "\n")
+				}
+				if step < len(res.History) {
+					h := res.History[step]
+					sp := res.History[0].WallTime / h.WallTime
+					fmt.Fprintf(&b, "    -> observed %.3f s (x%.2f vs default)\n", h.WallTime, sp)
+				}
+			case protocol.ToolEndTuning:
+				fmt.Fprintf(&b, "\n--- End Tuning ---\n    %s\n", res.EndReason)
+			}
+		}
+	}
+
+	rs := eng.Rules()
+	if !rs.Empty() {
+		b.WriteString("\n--- Sample generated rule ---\n")
+		r := rs.Rules[0]
+		fmt.Fprintf(&b, "    Parameter:        %s\n", r.Parameter)
+		fmt.Fprintf(&b, "    Rule Description: %s\n", r.RuleDescription)
+		fmt.Fprintf(&b, "    Tuning Context:   %s\n", r.TuningContext)
+	}
+	return b.String(), nil
+}
+
+func excerpt(s string, lines int) string {
+	parts := strings.SplitN(s, "\n", lines+1)
+	if len(parts) > lines {
+		parts = parts[:lines]
+		parts = append(parts, "...")
+	}
+	return strings.Join(parts, "\n")
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		if lines[i] != "" {
+			lines[i] = pad + lines[i]
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated platform: Figures 2 and 5-10 plus the
+// §5.7 cost table, and an extra iteration-cost comparison against
+// traditional autotuners. Each experiment returns a renderable Table (or
+// timeline text) whose rows mirror the paper's series.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/workload"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	Spec  cluster.Spec
+	Scale float64 // workload scale (DefaultScale reproduces the documented reduction)
+	Reps  int     // repetitions for averaged measurements (paper: 8)
+	Seed  int64
+}
+
+// Defaults fills unset fields with the paper's protocol.
+func (c Config) Defaults() Config {
+	if c.Spec.ClientNodes == 0 {
+		c.Spec = cluster.Default()
+	}
+	if c.Scale == 0 {
+		c.Scale = workload.DefaultScale
+	}
+	if c.Reps == 0 {
+		c.Reps = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// newEngine builds a STELLAR engine with the paper's model assignment
+// (Claude-3.7-Sonnet tuning, GPT-4o analysis and extraction).
+func newEngine(c Config, tuningModel string, disableDescs, disableAnalysis bool) *core.Engine {
+	if tuningModel == "" {
+		tuningModel = simllm.Claude37
+	}
+	return core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:                c.Spec,
+		TuningModel:         tuningModel,
+		AnalysisModel:       simllm.GPT4o,
+		ExtractModel:        simllm.GPT4o,
+		Scale:               c.Scale,
+		Seed:                c.Seed,
+		MaxAttempts:         5,
+		DisableDescriptions: disableDescs,
+		DisableAnalysis:     disableAnalysis,
+	})
+}
+
+// Table is a renderable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func fseries(sp []float64) string {
+	parts := make([]string, len(sp))
+	for i, v := range sp {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Table, error)
+}
+
+// All lists the experiments in paper order. Figure 10 is textual and
+// exposed separately via Fig10CaseStudy.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "LLM hallucination vs RAG extraction", Fig2Hallucination},
+		{"fig5", "Tuning performance vs default and expert", Fig5TuningPerformance},
+		{"fig6", "Rule-set interpolation on benchmarks", Fig6RuleSetInterpolation},
+		{"fig7", "Rule-set extrapolation to real applications", Fig7RuleSetExtrapolation},
+		{"fig8", "Component ablations on MDWorkbench_8K", Fig8Ablation},
+		{"fig9", "Model comparison on IOR_16M", Fig9ModelComparison},
+		{"cost", "Token usage and prompt-cache statistics (§5.7)", CostTable},
+		{"iters", "Iteration cost vs traditional autotuners", IterationCost},
+		{"sweep", "RAG retrieval-depth and chunk-size sweep (extension)", RetrievalSweep},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

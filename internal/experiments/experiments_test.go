@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Unit-scale config: tiny workloads, few reps, so the full experiment paths
+// execute quickly. The bench harness runs the full-scale versions.
+func unitCfg() Config {
+	return Config{Reps: 2, Scale: 0.05, Seed: 11}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "T", Columns: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	out := tbl.Render()
+	for _, want := range []string{"== X: T ==", "a ", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllAndLookup(t *testing.T) {
+	if len(All()) != 9 {
+		t.Fatalf("experiments = %d", len(All()))
+	}
+	if _, ok := Lookup("fig5"); !ok {
+		t.Fatal("fig5 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tbl, err := Fig2Hallucination(unitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The RAG row must be fully correct; the prior rows must all miss the
+	// range (the paper's headline observation).
+	for i, row := range tbl.Rows {
+		isRAG := i == 3
+		if isRAG {
+			if row[1] != "yes" || row[2] != "yes" {
+				t.Fatalf("RAG row incorrect: %v", row)
+			}
+		} else if row[2] != "NO" {
+			t.Fatalf("prior model row %d has a correct range: %v", i, row)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9ModelComparison(unitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Fatalf("row lacks a speedup: %v", row)
+		}
+		if strings.HasPrefix(row[3], "0.") || strings.HasPrefix(row[3], "1.0") {
+			t.Fatalf("model %s achieved no speedup: %v", row[0], row)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8Ablation(unitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q: %v", cell, err)
+		}
+		return v
+	}
+	full := parse(tbl.Rows[0][3])
+	noDesc := parse(tbl.Rows[1][3])
+	noAnaly := parse(tbl.Rows[2][3])
+	if full <= noDesc || full <= noAnaly {
+		t.Fatalf("ablations not degraded: full %.2f, noDesc %.2f, noAnalysis %.2f",
+			full, noDesc, noAnaly)
+	}
+}

@@ -1,0 +1,185 @@
+// Package httpllm is an OpenAI-compatible chat-completions client (stdlib
+// net/http only) so STELLAR can drive real inference endpoints — OpenAI,
+// TogetherAI, vLLM, or any service speaking the same wire format. The
+// offline evaluation uses llm/simllm instead; this client exists for real
+// deployments and is exercised in tests against a local stub server.
+package httpllm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"stellar/internal/llm"
+)
+
+// Client talks to an OpenAI-compatible /v1/chat/completions endpoint.
+type Client struct {
+	BaseURL    string // e.g. "https://api.openai.com/v1"
+	APIKey     string
+	HTTPClient *http.Client
+	MaxRetries int
+}
+
+// New creates a client with sane defaults.
+func New(baseURL, apiKey string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		APIKey:     apiKey,
+		HTTPClient: &http.Client{Timeout: 120 * time.Second},
+		MaxRetries: 2,
+	}
+}
+
+type wireMessage struct {
+	Role       string         `json:"role"`
+	Content    string         `json:"content"`
+	ToolCalls  []wireToolCall `json:"tool_calls,omitempty"`
+	ToolCallID string         `json:"tool_call_id,omitempty"`
+}
+
+type wireToolCall struct {
+	ID       string `json:"id"`
+	Type     string `json:"type"`
+	Function struct {
+		Name      string `json:"name"`
+		Arguments string `json:"arguments"`
+	} `json:"function"`
+}
+
+type wireTool struct {
+	Type     string `json:"type"`
+	Function struct {
+		Name        string          `json:"name"`
+		Description string          `json:"description"`
+		Parameters  json.RawMessage `json:"parameters"`
+	} `json:"function"`
+}
+
+type wireRequest struct {
+	Model       string        `json:"model"`
+	Messages    []wireMessage `json:"messages"`
+	Tools       []wireTool    `json:"tools,omitempty"`
+	Temperature float64       `json:"temperature"`
+}
+
+type wireResponse struct {
+	Choices []struct {
+		Message wireMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Chat implements llm.Client.
+func (c *Client) Chat(req *llm.Request) (*llm.Response, error) {
+	return c.ChatContext(context.Background(), req)
+}
+
+// ChatContext is Chat with cancellation.
+func (c *Client) ChatContext(ctx context.Context, req *llm.Request) (*llm.Response, error) {
+	wr := wireRequest{Model: req.Model, Temperature: req.Temperature}
+	if req.System != "" {
+		wr.Messages = append(wr.Messages, wireMessage{Role: "system", Content: req.System})
+	}
+	for _, m := range req.Messages {
+		wm := wireMessage{Role: string(m.Role), Content: m.Content, ToolCallID: m.ToolCallID}
+		for _, tc := range m.ToolCalls {
+			var w wireToolCall
+			w.ID, w.Type = tc.ID, "function"
+			w.Function.Name, w.Function.Arguments = tc.Name, tc.Arguments
+			wm.ToolCalls = append(wm.ToolCalls, w)
+		}
+		wr.Messages = append(wr.Messages, wm)
+	}
+	for _, t := range req.Tools {
+		var w wireTool
+		w.Type = "function"
+		w.Function.Name, w.Function.Description = t.Name, t.Description
+		w.Function.Parameters = json.RawMessage(t.Schema)
+		wr.Tools = append(wr.Tools, w)
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, fmt.Errorf("httpllm: marshal: %w", err)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		resp, err := c.do(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 500 * time.Millisecond):
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) do(ctx context.Context, body []byte) (*llm.Response, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	httpResp, err := c.HTTPClient.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("httpllm: %w", err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("httpllm: read body: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpllm: status %d: %s", httpResp.StatusCode, truncate(string(data), 300))
+	}
+	var wresp wireResponse
+	if err := json.Unmarshal(data, &wresp); err != nil {
+		return nil, fmt.Errorf("httpllm: decode: %w", err)
+	}
+	if wresp.Error != nil {
+		return nil, fmt.Errorf("httpllm: api error: %s", wresp.Error.Message)
+	}
+	if len(wresp.Choices) == 0 {
+		return nil, fmt.Errorf("httpllm: no choices in response")
+	}
+	wm := wresp.Choices[0].Message
+	out := llm.Message{Role: llm.Role(wm.Role), Content: wm.Content}
+	for _, tc := range wm.ToolCalls {
+		out.ToolCalls = append(out.ToolCalls, llm.ToolCall{
+			ID: tc.ID, Name: tc.Function.Name, Arguments: tc.Function.Arguments,
+		})
+	}
+	return &llm.Response{
+		Message: out,
+		Usage: llm.Usage{
+			InputTokens:  wresp.Usage.PromptTokens,
+			OutputTokens: wresp.Usage.CompletionTokens,
+		},
+	}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,107 @@
+package httpllm
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stellar/internal/llm"
+)
+
+func stubServer(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/chat/completions" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if got := r.Header.Get("Authorization"); got != "Bearer key123" {
+			t.Errorf("auth header = %q", got)
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+func TestChatSuccessWithToolCall(t *testing.T) {
+	srv := stubServer(t, 200, `{
+		"choices": [{"message": {"role": "assistant", "content": "",
+			"tool_calls": [{"id": "c1", "type": "function",
+				"function": {"name": "run_configuration", "arguments": "{\"config\":{}}"}}]}}],
+		"usage": {"prompt_tokens": 42, "completion_tokens": 7}
+	}`)
+	defer srv.Close()
+	c := New(srv.URL, "key123")
+	resp, err := c.Chat(&llm.Request{
+		Model:  "gpt-4o",
+		System: "sys",
+		Messages: []llm.Message{
+			{Role: llm.RoleUser, Content: "hello"},
+			{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "p", Name: "x", Arguments: "{}"}}},
+			{Role: llm.RoleTool, ToolCallID: "p", Content: "result"},
+		},
+		Tools: []llm.ToolDef{{Name: "run_configuration", Description: "d", Schema: `{"type":"object"}`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 || resp.Message.ToolCalls[0].Name != "run_configuration" {
+		t.Fatalf("tool calls = %+v", resp.Message.ToolCalls)
+	}
+	if resp.Usage.InputTokens != 42 || resp.Usage.OutputTokens != 7 {
+		t.Fatalf("usage = %+v", resp.Usage)
+	}
+}
+
+func TestWireRequestShape(t *testing.T) {
+	var captured wireRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&captured); err != nil {
+			t.Error(err)
+		}
+		_, _ = w.Write([]byte(`{"choices":[{"message":{"role":"assistant","content":"ok"}}]}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, "")
+	_, err := c.Chat(&llm.Request{
+		Model: "m", System: "s",
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: "hi"}},
+		Tools:    []llm.ToolDef{{Name: "t", Schema: `{"type":"object"}`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured.Model != "m" || len(captured.Messages) != 2 {
+		t.Fatalf("wire request = %+v", captured)
+	}
+	if captured.Messages[0].Role != "system" || captured.Messages[0].Content != "s" {
+		t.Fatal("system message not first")
+	}
+	if len(captured.Tools) != 1 || captured.Tools[0].Function.Name != "t" {
+		t.Fatal("tools not mapped")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := stubServer(t, 500, `{"error": {"message": "boom"}}`)
+	defer srv.Close()
+	c := New(srv.URL, "key123")
+	c.MaxRetries = 0
+	if _, err := c.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+		t.Fatal("500 not reported")
+	}
+
+	srv2 := stubServer(t, 200, `{"choices": []}`)
+	defer srv2.Close()
+	c2 := New(srv2.URL, "key123")
+	if _, err := c2.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+		t.Fatal("empty choices not reported")
+	}
+
+	srv3 := stubServer(t, 200, `{"error": {"message": "quota"}, "choices": [{"message":{"role":"assistant","content":"x"}}]}`)
+	defer srv3.Close()
+	c3 := New(srv3.URL, "key123")
+	if _, err := c3.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+		t.Fatal("embedded api error not reported")
+	}
+}

@@ -1,0 +1,83 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Exchange is one recorded request/response pair.
+type Exchange struct {
+	Index     int       `json:"index"`
+	Model     string    `json:"model"`
+	System    string    `json:"system"`
+	Messages  []Message `json:"messages"`
+	Reply     Message   `json:"reply"`
+	Usage     Usage     `json:"usage"`
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// Recorder is middleware that captures every exchange flowing through a
+// Client — the transcript store behind case studies and debugging. It is
+// safe for concurrent use.
+type Recorder struct {
+	inner Client
+
+	mu        sync.Mutex
+	exchanges []Exchange
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Client) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Chat implements Client, recording the exchange.
+func (r *Recorder) Chat(req *Request) (*Response, error) {
+	resp, err := r.inner.Chat(req)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(req.Messages))
+	copy(msgs, req.Messages)
+	r.mu.Lock()
+	r.exchanges = append(r.exchanges, Exchange{
+		Index:     len(r.exchanges),
+		Model:     req.Model,
+		System:    req.System,
+		Messages:  msgs,
+		Reply:     resp.Message,
+		Usage:     resp.Usage,
+		Timestamp: time.Now(),
+	})
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// Exchanges returns a copy of the recorded exchanges.
+func (r *Recorder) Exchanges() []Exchange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Exchange, len(r.exchanges))
+	copy(out, r.exchanges)
+	return out
+}
+
+// Len returns the number of recorded exchanges.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.exchanges)
+}
+
+// JSON renders the transcript as a JSON array.
+func (r *Recorder) JSON() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out, err := json.MarshalIndent(r.exchanges, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("llm: transcript marshal: %w", err)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,54 @@
+package llm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderCapturesExchanges(t *testing.T) {
+	r := NewRecorder(&echoClient{})
+	req := &Request{Model: "m", System: "s",
+		Messages: []Message{{Role: RoleUser, Content: "question"}}}
+	if _, err := r.Chat(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Chat(req); err != nil {
+		t.Fatal(err)
+	}
+	ex := r.Exchanges()
+	if len(ex) != 2 || r.Len() != 2 {
+		t.Fatalf("exchanges = %d", len(ex))
+	}
+	if ex[0].Index != 0 || ex[1].Index != 1 {
+		t.Fatal("indices not sequential")
+	}
+	if ex[0].Reply.Content != "reply body here" {
+		t.Fatalf("reply = %q", ex[0].Reply.Content)
+	}
+	// Mutating the request afterwards must not corrupt the transcript.
+	req.Messages[0].Content = "changed"
+	if r.Exchanges()[0].Messages[0].Content != "question" {
+		t.Fatal("transcript aliases caller messages")
+	}
+	js, err := r.JSON()
+	if err != nil || !strings.Contains(js, `"reply body here"`) {
+		t.Fatalf("json transcript: %v", err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(&echoClient{})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = r.Chat(&Request{Messages: []Message{{Role: RoleUser, Content: "x"}}})
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 20 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

@@ -1,0 +1,255 @@
+package simllm
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+)
+
+// The Analysis Agent is a code-executing agent: given dataframes and column
+// documentation it writes an analysis program (a tool call), inspects the
+// executed results, and composes the I/O Report. Every number in the report
+// comes from the executed program's output — the model never sees the raw
+// simulator state — so a broken pipeline yields a broken report, exactly as
+// with the paper's OpenInterpreter-based agent.
+
+func handleAnalysis(req *llm.Request) (llm.Message, error) {
+	last := req.Messages[len(req.Messages)-1]
+	if last.Role == llm.RoleTool {
+		// Program results are in: compose the report or answer.
+		question := pendingQuestion(req)
+		if question == "" {
+			return composeReport(last.Content)
+		}
+		return composeAnswer(question, last.Content)
+	}
+	// New task or follow-up question: write analysis code.
+	prompt := lastUser(req)
+	if q, ok := protocol.ExtractSection(prompt, protocol.SecQuestion); ok {
+		return llm.Message{ToolCalls: []llm.ToolCall{{
+			ID: "exec-q", Name: protocol.ToolExecProgram,
+			Arguments: questionProgram(q, framePrefix(req)),
+		}}}, nil
+	}
+	return llm.Message{ToolCalls: []llm.ToolCall{{
+		ID: "exec-battery", Name: protocol.ToolExecProgram,
+		Arguments: batteryProgram(framePrefix(req)),
+	}}}, nil
+}
+
+// pendingQuestion returns the SecQuestion of the most recent user message
+// preceding the trailing tool result, or "" when the tool result answers
+// the initial characterisation task.
+func pendingQuestion(req *llm.Request) string {
+	for i := len(req.Messages) - 1; i >= 0; i-- {
+		if req.Messages[i].Role == llm.RoleUser {
+			if q, ok := protocol.ExtractSection(req.Messages[i].Content, protocol.SecQuestion); ok {
+				return q
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// framePrefix determines the counter prefix from the provided column docs.
+func framePrefix(req *llm.Request) string {
+	docs := firstUser(req)
+	if strings.Contains(docs, "POSIX_OPENS") {
+		return "POSIX"
+	}
+	if strings.Contains(docs, "MPIIO_OPENS") {
+		return "MPIIO"
+	}
+	return "POSIX"
+}
+
+func aggStep(prefix, counter, agg string) string {
+	return fmt.Sprintf(`{"op":"agg","frame":"POSIX","column":"%s_%s","agg":"%s"}`, prefix, counter, agg)
+}
+
+// batteryProgram is the standard characterisation battery the agent runs
+// first: op counts, byte totals, sequentiality, file population, sharing.
+func batteryProgram(prefix string) string {
+	steps := []string{
+		aggStep(prefix, "OPENS", "sum"),
+		aggStep(prefix, "READS", "sum"),
+		aggStep(prefix, "WRITES", "sum"),
+		aggStep(prefix, "STATS", "sum"),
+		aggStep(prefix, "UNLINKS", "sum"),
+		aggStep(prefix, "FSYNCS", "sum"),
+		aggStep(prefix, "BYTES_READ", "sum"),
+		aggStep(prefix, "BYTES_WRITTEN", "sum"),
+		aggStep(prefix, "SEQ_READS", "sum"),
+		aggStep(prefix, "SEQ_WRITES", "sum"),
+		aggStep(prefix, "F_META_TIME", "sum"),
+		aggStep(prefix, "F_READ_TIME", "sum"),
+		aggStep(prefix, "F_WRITE_TIME", "sum"),
+		`{"op":"agg","frame":"POSIX","column":"file","agg":"count"}`,
+		aggStep(prefix, "MAX_BYTE_WRITTEN", "mean"),
+		aggStep(prefix, "RANKS", "max"),
+	}
+	return fmt.Sprintf(`{"program": {"steps": [%s]}}`, strings.Join(steps, ","))
+}
+
+// questionProgram writes targeted analysis code for a Tuning Agent
+// follow-up question.
+func questionProgram(q, prefix string) string {
+	lq := strings.ToLower(q)
+	var steps []string
+	switch {
+	case strings.Contains(lq, "ratio"):
+		steps = []string{
+			aggStep(prefix, "OPENS", "sum"), aggStep(prefix, "STATS", "sum"),
+			aggStep(prefix, "UNLINKS", "sum"), aggStep(prefix, "READS", "sum"),
+			aggStep(prefix, "WRITES", "sum"),
+		}
+	case strings.Contains(lq, "file size") || strings.Contains(lq, "distribution"):
+		steps = []string{
+			aggStep(prefix, "MAX_BYTE_WRITTEN", "mean"),
+			aggStep(prefix, "MAX_BYTE_WRITTEN", "max"),
+			aggStep(prefix, "MAX_BYTE_WRITTEN", "min"),
+			`{"op":"agg","frame":"POSIX","column":"file","agg":"count"}`,
+		}
+	case strings.Contains(lq, "variance") || strings.Contains(lq, "imbalance") || strings.Contains(lq, "straggler"):
+		steps = []string{
+			aggStep(prefix, "F_VARIANCE_RANK_TIME", "max"),
+			aggStep(prefix, "F_SLOWEST_RANK_TIME", "max"),
+			aggStep(prefix, "F_FASTEST_RANK_TIME", "min"),
+		}
+	default:
+		steps = []string{
+			aggStep(prefix, "BYTES_READ", "sum"), aggStep(prefix, "BYTES_WRITTEN", "sum"),
+			aggStep(prefix, "READS", "sum"), aggStep(prefix, "WRITES", "sum"),
+		}
+	}
+	return fmt.Sprintf(`{"program": {"steps": [%s]}}`, strings.Join(steps, ","))
+}
+
+var reResultLine = regexp.MustCompile(`(sum|mean|min|max|count)\(POSIX\.([\w]+)\) = (-?[\d.e+]+)`)
+
+// parseResults reads the executed program output back into a value map
+// keyed by "<agg>:<column>".
+func parseResults(out string) map[string]float64 {
+	vals := map[string]float64{}
+	for _, m := range reResultLine.FindAllStringSubmatch(out, -1) {
+		if v, err := strconv.ParseFloat(m[3], 64); err == nil {
+			vals[m[1]+":"+m[2]] = v
+		}
+	}
+	return vals
+}
+
+func composeReport(toolOutput string) (llm.Message, error) {
+	vals := parseResults(toolOutput)
+	get := func(agg, counter string) float64 {
+		if v, ok := vals["POSIX_"+counter]; ok {
+			return v
+		}
+		return vals[agg+":"+"POSIX_"+counter]
+	}
+	reads := get("sum", "READS")
+	writes := get("sum", "WRITES")
+	opens := get("sum", "OPENS")
+	stats := get("sum", "STATS")
+	unlinks := get("sum", "UNLINKS")
+	bytesR := get("sum", "BYTES_READ")
+	bytesW := get("sum", "BYTES_WRITTEN")
+	seqR := get("sum", "SEQ_READS")
+	seqW := get("sum", "SEQ_WRITES")
+	files := vals["count:file"]
+	avgFile := get("mean", "MAX_BYTE_WRITTEN")
+	maxRanks := get("max", "RANKS")
+
+	f := protocol.Features{
+		FileCount:   int(files),
+		AvgFileKB:   avgFile / 1024,
+		SharedFiles: maxRanks > 1,
+	}
+	dataOps := reads + writes
+	metaOps := opens + stats + unlinks
+	if metaOps+dataOps > 0 {
+		f.MetaRatio = metaOps / (metaOps + dataOps)
+	}
+	if reads > 0 {
+		f.AvgReadKB = bytesR / reads / 1024
+		f.SeqReadFrac = seqR / reads
+	}
+	if writes > 0 {
+		f.AvgWriteKB = bytesW / writes / 1024
+		f.SeqWriteFrac = seqW / writes
+	}
+	if bytesR+bytesW > 0 {
+		f.ReadFrac = bytesR / (bytesR + bytesW)
+	}
+	f.MultiPhase = f.MetaRatio > 0.3 && bytesR+bytesW > 512<<20
+	switch {
+	case f.MetaRatio > 0.4 && !f.MultiPhase:
+		f.Dominant = "metadata"
+	case f.MultiPhase:
+		f.Dominant = "mixed"
+	case f.ReadFrac > 0.6:
+		f.Dominant = "read"
+	case f.ReadFrac < 0.4:
+		f.Dominant = "write"
+	default:
+		f.Dominant = "mixed"
+	}
+
+	var b strings.Builder
+	b.WriteString("I/O Report\n\n")
+	fmt.Fprintf(&b, "The application touched %d file(s); the average highest written offset is %.0f KiB. ",
+		f.FileCount, f.AvgFileKB)
+	if f.SharedFiles {
+		b.WriteString("At least one file is shared by multiple MPI ranks. ")
+	} else {
+		b.WriteString("Files are accessed by single ranks (file-per-process style). ")
+	}
+	fmt.Fprintf(&b, "It issued %.0f reads (avg %.0f KiB, %.0f%% sequential) and %.0f writes "+
+		"(avg %.0f KiB, %.0f%% sequential). ",
+		reads, f.AvgReadKB, f.SeqReadFrac*100, writes, f.AvgWriteKB, f.SeqWriteFrac*100)
+	fmt.Fprintf(&b, "Metadata operations (%0.f opens, %.0f stats, %.0f unlinks) make up %.0f%% of all "+
+		"operations, so the workload is best characterised as %s-dominated.\n\n",
+		opens, stats, unlinks, f.MetaRatio*100, f.Dominant)
+	if f.MultiPhase {
+		b.WriteString("The combination of bulk data volume and heavy metadata traffic indicates " +
+			"a multi-phase workload; a single configuration must balance both. \n\n")
+	}
+	b.WriteString(protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(f)))
+	return llm.Message{Content: b.String()}, nil
+}
+
+func composeAnswer(question, toolOutput string) (llm.Message, error) {
+	vals := parseResults(toolOutput)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Follow-up analysis for: %s\n", question)
+	lq := strings.ToLower(question)
+	switch {
+	case strings.Contains(lq, "ratio"):
+		meta := vals["sum:POSIX_OPENS"] + vals["sum:POSIX_STATS"] + vals["sum:POSIX_UNLINKS"]
+		data := vals["sum:POSIX_READS"] + vals["sum:POSIX_WRITES"]
+		if data > 0 {
+			fmt.Fprintf(&b, "Metadata-to-data operation ratio: %.2f (%.0f metadata ops vs %.0f data ops).\n",
+				meta/data, meta, data)
+		} else {
+			fmt.Fprintf(&b, "The workload performed %.0f metadata ops and no data ops.\n", meta)
+		}
+	case strings.Contains(lq, "file size") || strings.Contains(lq, "distribution"):
+		fmt.Fprintf(&b, "File sizes: mean %.0f B, min %.0f B, max %.0f B across %.0f files.\n",
+			vals["mean:POSIX_MAX_BYTE_WRITTEN"], vals["min:POSIX_MAX_BYTE_WRITTEN"],
+			vals["max:POSIX_MAX_BYTE_WRITTEN"], vals["count:file"])
+	case strings.Contains(lq, "variance") || strings.Contains(lq, "imbalance") || strings.Contains(lq, "straggler"):
+		fmt.Fprintf(&b, "Rank-time spread: slowest %.3f s vs fastest %.3f s (variance %.4g).\n",
+			vals["max:POSIX_F_SLOWEST_RANK_TIME"], vals["min:POSIX_F_FASTEST_RANK_TIME"],
+			vals["max:POSIX_F_VARIANCE_RANK_TIME"])
+	default:
+		fmt.Fprintf(&b, "Totals: %.0f bytes read, %.0f bytes written over %.0f reads and %.0f writes.\n",
+			vals["sum:POSIX_BYTES_READ"], vals["sum:POSIX_BYTES_WRITTEN"],
+			vals["sum:POSIX_READS"], vals["sum:POSIX_WRITES"])
+	}
+	return llm.Message{Content: b.String()}, nil
+}

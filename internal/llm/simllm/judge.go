@@ -1,0 +1,183 @@
+package simllm
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+)
+
+// The extraction judge reads ONLY the retrieved chunk text in the prompt —
+// never the ground-truth registry — so retrieval failures genuinely cause
+// extraction failures, as in the real pipeline.
+
+var (
+	reRange   = regexp.MustCompile(`The valid range of [\w.]+ is (.+?) to (.+?)\. The default value`)
+	reDefault = regexp.MustCompile(`The default value is (-?\d+)`)
+	reBinary  = regexp.MustCompile(`is a binary switch`)
+)
+
+func handleExtractJudge(req *llm.Request) (llm.Message, error) {
+	prompt := lastUser(req)
+	name, ok := protocol.ExtractSection(prompt, protocol.SecParam)
+	if !ok {
+		return llm.Message{}, fmt.Errorf("simllm: extraction judge prompt lacks %s section", protocol.SecParam)
+	}
+	name = strings.TrimSpace(strings.SplitN(name, "\n", 2)[0])
+	chunksText, ok := protocol.ExtractSection(prompt, protocol.SecChunks)
+	if !ok {
+		return llm.Message{}, fmt.Errorf("simllm: extraction judge prompt lacks %s section", protocol.SecChunks)
+	}
+
+	j := judgeFromChunks(name, chunksText)
+	return llm.Message{Content: protocol.MarshalJSONValue(j)}, nil
+}
+
+// judgeFromChunks performs the careful-reading step: locate the manual's
+// "Parameter <name>." section inside the retrieved chunks and pull out the
+// definition sentence, impact sentences, range, and default.
+func judgeFromChunks(name, chunks string) *protocol.ExtractJudgment {
+	marker := "Parameter " + name + "."
+	i := strings.Index(chunks, marker)
+	if i < 0 {
+		// The documentation section was not retrieved (thin docs, missing
+		// docs, or a retrieval miss).
+		return &protocol.ExtractJudgment{
+			Sufficient: false,
+			Reason: fmt.Sprintf("the retrieved context mentions %s at most in passing; "+
+				"no definition or valid range is documented", name),
+		}
+	}
+	body := chunks[i+len(marker):]
+	// The section ends at the runtime-change instruction or the next
+	// section header, whichever comes first in the chunk.
+	if j := strings.Index(body, "To change the value at runtime"); j >= 0 {
+		body = body[:j]
+	} else if j := strings.Index(body, "Section:"); j >= 0 {
+		body = body[:j]
+	}
+	body = strings.TrimSpace(body)
+
+	if reBinary.MatchString(body) {
+		def, _ := firstSentence(body)
+		return &protocol.ExtractJudgment{
+			Sufficient: true, Binary: true,
+			Definition: def,
+			Min:        "0", Max: "1",
+		}
+	}
+
+	m := reRange.FindStringSubmatch(body)
+	if m == nil {
+		return &protocol.ExtractJudgment{
+			Sufficient: false,
+			Reason:     fmt.Sprintf("documentation for %s found but it states no valid range", name),
+		}
+	}
+	def, rest := firstSentence(body)
+	impact := rest
+	if k := strings.Index(impact, "The valid range"); k >= 0 {
+		impact = impact[:k]
+	}
+	impact = strings.TrimSpace(impact)
+
+	out := &protocol.ExtractJudgment{
+		Sufficient: true,
+		Definition: def,
+		Impact:     impact,
+		Min:        strings.TrimSpace(m[1]),
+		Max:        strings.TrimSpace(m[2]),
+	}
+	if dm := reDefault.FindStringSubmatch(body); dm != nil {
+		if v, err := strconv.ParseInt(dm[1], 10, 64); err == nil {
+			out.Default = v
+		}
+	}
+	return out
+}
+
+func firstSentence(s string) (first, rest string) {
+	if i := strings.Index(s, ". "); i >= 0 {
+		return s[:i+1], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+// Importance assessment: keyword evidence in the impact text, the same
+// cues a capable model reasons over ("clearly impacting I/O performance"
+// vs. "simulate high server load scenarios", §4.2.2).
+var positiveCues = []string{
+	"bandwidth", "throughput", "latency", "concurrency", "concurrent",
+	"pipelines", "pipeline", "prefetch", "read-ahead",
+	"striped", "striping", "stripe", "asynchronously", "round trip",
+	"round trips", "in flight", "overlapping", "parallelism",
+	"metadata latency", "stat throughput", "serialising", "serialises",
+}
+
+var negativeCues = []string{
+	"debugging", "testing", "fault", "simulate", "integrity", "freshness",
+	"reporting", "memory usage", "keepalive", "support before modifying",
+	"not intended for production", "not a performance tuning",
+	"no effect on data", "negligible",
+}
+
+func handleImportance(req *llm.Request) (llm.Message, error) {
+	prompt := lastUser(req)
+	text := strings.ToLower(prompt)
+	pos, neg := 0, 0
+	var posHits, negHits []string
+	for _, c := range positiveCues {
+		if strings.Contains(text, c) {
+			pos++
+			posHits = append(posHits, c)
+		}
+	}
+	for _, c := range negativeCues {
+		if strings.Contains(text, c) {
+			neg++
+			negHits = append(negHits, c)
+		}
+	}
+	j := protocol.ImportanceJudgment{Significant: pos > 0 && pos > neg}
+	if j.Significant {
+		j.Reasoning = fmt.Sprintf("the documented impact speaks directly to I/O performance (%s)",
+			strings.Join(posHits, ", "))
+	} else {
+		why := "the description does not connect the parameter to I/O performance"
+		if len(negHits) > 0 {
+			why = fmt.Sprintf("the documentation frames it as %s rather than a performance lever",
+				strings.Join(negHits, ", "))
+		}
+		j.Reasoning = why
+	}
+	return llm.Message{Content: protocol.MarshalJSONValue(j)}, nil
+}
+
+// handleParamQA answers a parameter question from the model's parametric
+// memory — the no-RAG condition of Figure 2, where hallucinated facts
+// surface with authoritative language.
+func handleParamQA(prof *Profile, req *llm.Request) (llm.Message, error) {
+	prompt := lastUser(req)
+	name, ok := protocol.ExtractSection(prompt, protocol.SecParam)
+	if !ok {
+		return llm.Message{}, fmt.Errorf("simllm: parameter QA prompt lacks %s section", protocol.SecParam)
+	}
+	name = strings.TrimSpace(strings.SplitN(name, "\n", 2)[0])
+	prior, ok := prof.Priors[name]
+	if !ok {
+		prior = Prior{
+			Definition: fmt.Sprintf("The %s parameter adjusts client-side I/O behaviour in Lustre.", name),
+			Min:        0, Max: 1024,
+		}
+	}
+	j := protocol.ExtractJudgment{
+		Sufficient: true,
+		Definition: prior.Definition,
+		Min:        strconv.FormatInt(prior.Min, 10),
+		Max:        strconv.FormatInt(prior.Max, 10),
+	}
+	return llm.Message{Content: protocol.MarshalJSONValue(j)}, nil
+}

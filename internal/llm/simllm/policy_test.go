@@ -1,0 +1,179 @@
+package simllm
+
+import (
+	"encoding/json"
+	"testing"
+
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+)
+
+// askConfig drives one tuning decision and returns the proposed config.
+func askConfig(t *testing.T, model string, f *protocol.Features, hist []protocol.HistoryEntry) map[string]int64 {
+	t.Helper()
+	c := New(model)
+	req := tuningFixture(f, true, hist, "{}")
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 {
+		t.Fatalf("expected one tool call, got %+v", resp.Message)
+	}
+	call := resp.Message.ToolCalls[0]
+	if call.Name != protocol.ToolRunConfig {
+		t.Fatalf("expected run_configuration, got %s", call.Name)
+	}
+	var args struct {
+		Config map[string]int64 `json:"config"`
+	}
+	if err := json.Unmarshal([]byte(call.Arguments), &args); err != nil {
+		t.Fatal(err)
+	}
+	return args.Config
+}
+
+func initHist() []protocol.HistoryEntry {
+	return []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
+}
+
+func TestLargeSequentialPolicy(t *testing.T) {
+	f := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9,
+		SharedFiles: true, ReadFrac: 0.5, AvgFileKB: 4 << 20}
+	cfg := askConfig(t, Claude37, f, initHist())
+	if cfg["lov.stripe_count"] != -1 {
+		t.Fatalf("large sequential should stripe wide: %+v", cfg)
+	}
+	if cfg["lov.stripe_size"] != 16<<20 {
+		t.Fatalf("stripe size should match 16 MiB transfers: %d", cfg["lov.stripe_size"])
+	}
+	if cfg["osc.max_pages_per_rpc"] != 1024 {
+		t.Fatal("bulk RPCs should be maximal")
+	}
+	if cfg["llite.max_read_ahead_mb"] == 0 {
+		t.Fatal("read-back share should enable readahead")
+	}
+}
+
+func TestFilePerProcessStripeGeometry(t *testing.T) {
+	// Small per-process files: stripes must be small enough to span OSTs.
+	f := &protocol.Features{Dominant: "write", AvgWriteKB: 512, SeqWriteFrac: 0.9,
+		SharedFiles: false, AvgFileKB: 2560}
+	cfg := askConfig(t, Claude37, f, initHist())
+	if cfg["lov.stripe_size"] != 1<<20 {
+		t.Fatalf("file-per-process small files need 1 MiB stripes, got %d", cfg["lov.stripe_size"])
+	}
+}
+
+func TestSmallRandomPolicyDisablesReadahead(t *testing.T) {
+	f := &protocol.Features{Dominant: "mixed", AvgWriteKB: 64, AvgReadKB: 64,
+		SeqWriteFrac: 0.05, SeqReadFrac: 0.05, SharedFiles: true, ReadFrac: 0.5}
+	cfg := askConfig(t, Claude37, f, initHist())
+	if cfg["llite.max_read_ahead_mb"] != 0 || cfg["llite.max_read_ahead_per_file_mb"] != 0 {
+		t.Fatalf("random access should disable readahead: %+v", cfg)
+	}
+	if cfg["lov.stripe_count"] != -1 {
+		t.Fatal("random shared access should spread across OSTs")
+	}
+	if cfg["osc.max_rpcs_in_flight"] < 16 {
+		t.Fatal("random I/O needs a deep window")
+	}
+}
+
+func TestMixedPolicyCoversBothSides(t *testing.T) {
+	f := &protocol.Features{Dominant: "mixed", MultiPhase: true, MetaRatio: 0.5,
+		AvgWriteKB: 1024, SharedFiles: true}
+	cfg := askConfig(t, Claude37, f, initHist())
+	if cfg["mdc.max_rpcs_in_flight"] <= 8 {
+		t.Fatal("mixed workload must widen metadata windows")
+	}
+	if cfg["osc.max_pages_per_rpc"] != 1024 {
+		t.Fatal("mixed workload must keep bulk RPCs large")
+	}
+}
+
+func TestLlamaIsMoreConservative(t *testing.T) {
+	f := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9, SharedFiles: true}
+	claude := askConfig(t, Claude37, f, initHist())
+	llama := askConfig(t, Llama3170, f, initHist())
+	if llama["osc.max_rpcs_in_flight"] >= claude["osc.max_rpcs_in_flight"] {
+		t.Fatalf("llama should scale windows down: %d vs %d",
+			llama["osc.max_rpcs_in_flight"], claude["osc.max_rpcs_in_flight"])
+	}
+}
+
+func TestLlamaSkipsSecondaryLevers(t *testing.T) {
+	f := &protocol.Features{Dominant: "metadata", MetaRatio: 0.7, AvgFileKB: 8, AvgWriteKB: 8}
+	// Advance past the analysis question and the first attempt so the
+	// step-2 config (which carries the secondary levers) is proposed.
+	hist := append(initHist(), protocol.HistoryEntry{
+		Iteration: 1, Config: map[string]int64{"mdc.max_rpcs_in_flight": 16}, WallTime: 6})
+	c := New(Llama3170)
+	req := tuningFixture(f, true, hist, "{}")
+	req.Messages = append(req.Messages,
+		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
+		llm.Message{Role: llm.RoleTool, ToolCallID: "q", Content: "answer"},
+	)
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args struct {
+		Config map[string]int64 `json:"config"`
+	}
+	_ = json.Unmarshal([]byte(resp.Message.ToolCalls[0].Arguments), &args)
+	if _, ok := args.Config["osc.short_io_bytes"]; ok {
+		t.Fatalf("llama profile should miss the short-I/O lever: %+v", args.Config)
+	}
+	if _, ok := args.Config["ldlm.lru_size"]; ok {
+		t.Fatalf("llama profile should miss the lock-LRU lever: %+v", args.Config)
+	}
+}
+
+func TestEscalationAfterSuccess(t *testing.T) {
+	// After a successful first step the policy pushes the same levers
+	// further (the case-study behaviour).
+	f := &protocol.Features{Dominant: "metadata", MetaRatio: 0.7, AvgFileKB: 8, AvgWriteKB: 8}
+	hist := append(initHist(), protocol.HistoryEntry{
+		Iteration: 1,
+		Config:    map[string]int64{"mdc.max_rpcs_in_flight": 16, "mdc.max_mod_rpcs_in_flight": 12},
+		WallTime:  6, // x1.67
+	})
+	c := New(Claude37)
+	req := tuningFixture(f, true, hist, "{}")
+	req.Messages = append(req.Messages,
+		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
+		llm.Message{Role: llm.RoleTool, ToolCallID: "q", Content: "answer"},
+	)
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args struct {
+		Config map[string]int64 `json:"config"`
+	}
+	_ = json.Unmarshal([]byte(resp.Message.ToolCalls[0].Arguments), &args)
+	if args.Config["mdc.max_rpcs_in_flight"] <= 16 {
+		t.Fatalf("no escalation after success: %+v", args.Config)
+	}
+}
+
+func TestGiveUpWithoutImprovement(t *testing.T) {
+	// Five failed attempts must end with a no-improvement justification.
+	hist := initHist()
+	for i := 1; i <= 5; i++ {
+		hist = append(hist, protocol.HistoryEntry{
+			Iteration: i, Config: map[string]int64{"osc.max_rpcs_in_flight": int64(8 * i)},
+			WallTime: 10.2,
+		})
+	}
+	f := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9}
+	c := New(Claude37)
+	resp, err := c.Chat(tuningFixture(f, true, hist, "{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Message.ToolCalls[0].Name != protocol.ToolEndTuning {
+		t.Fatalf("expected end_tuning after exhausted attempts, got %s", resp.Message.ToolCalls[0].Name)
+	}
+}

@@ -1,0 +1,84 @@
+package simllm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+	"stellar/internal/rules"
+)
+
+// bestDelta is one best-configuration entry passed to reflection: the
+// parameter, the value that won, and the platform default it replaced.
+type bestDelta struct {
+	Param   string `json:"param"`
+	Value   int64  `json:"value"`
+	Default int64  `json:"default"`
+}
+
+// handleReflect implements the Reflect & Summarize phase (§4.4): distil the
+// run's best configuration into generalised rules, then merge them into the
+// existing global rule set with contradiction/alternative handling.
+func handleReflect(req *llm.Request) (llm.Message, error) {
+	prompt := lastUser(req)
+	var feats protocol.Features
+	if fsec, ok := protocol.ExtractSection(prompt, protocol.SecFeatures); ok {
+		if err := json.Unmarshal([]byte(fsec), &feats); err != nil {
+			return llm.Message{}, fmt.Errorf("simllm: reflect features invalid: %w", err)
+		}
+	}
+	bsec, ok := protocol.ExtractSection(prompt, protocol.SecBest)
+	if !ok {
+		return llm.Message{}, fmt.Errorf("simllm: reflect prompt lacks %s", protocol.SecBest)
+	}
+	var deltas []bestDelta
+	if err := json.Unmarshal([]byte(bsec), &deltas); err != nil {
+		return llm.Message{}, fmt.Errorf("simllm: reflect best-config JSON invalid: %w", err)
+	}
+	existing := &rules.Set{}
+	if rsec, ok := protocol.ExtractSection(prompt, protocol.SecRules); ok {
+		if block, ok := protocol.FindJSONBlock(rsec); ok {
+			if set, err := rules.Parse(block); err == nil {
+				existing = set
+			}
+		}
+	}
+
+	ctx := feats.ContextSentence()
+	class := rules.ContextClass(ctx)
+	var newRules []rules.Rule
+	for _, d := range deltas {
+		if d.Value == d.Default {
+			continue
+		}
+		dir := "Increase"
+		if d.Value < d.Default {
+			dir = "Decrease"
+		}
+		desc := fmt.Sprintf("%s %s to around %d (platform default %d); this setting was "+
+			"validated by rerunning the application and observing improved I/O performance.",
+			dir, d.Param, d.Value, d.Default)
+		if d.Param == "lov.stripe_size" {
+			// Stripe size does not generalise as a literal value: the right
+			// setting follows the file and transfer geometry (the paper's
+			// example rule makes exactly this point).
+			desc = fmt.Sprintf("%s lov.stripe_size relative to the platform default, scaled to "+
+				"the file and transfer sizes of the workload rather than to a fixed value.", dir)
+		}
+		newRules = append(newRules, rules.Rule{
+			Parameter:       d.Param,
+			RuleDescription: desc,
+			TuningContext:   ctx,
+		})
+		// Outcome pruning (§4.4.2): alternatives contradicted by this
+		// run's winning direction are dropped.
+		winning := "increase"
+		if d.Value < d.Default {
+			winning = "decrease"
+		}
+		existing.Prune(class, d.Param, winning)
+	}
+	existing.Merge(newRules)
+	return llm.Message{Content: existing.JSON()}, nil
+}

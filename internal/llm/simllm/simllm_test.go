@@ -1,0 +1,332 @@
+package simllm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stellar/internal/llm"
+	"stellar/internal/protocol"
+)
+
+func TestProfilesExist(t *testing.T) {
+	for _, m := range Models() {
+		p := ProfileFor(m)
+		if p.Name != m {
+			t.Errorf("profile for %s has name %s", m, p.Name)
+		}
+	}
+	if ProfileFor("unknown-model").Name != GPT4o {
+		t.Fatal("unknown model should fall back to gpt-4o behaviour")
+	}
+}
+
+func TestFig2PriorPattern(t *testing.T) {
+	// The hallucination pattern of Figure 2: nobody gets the range right;
+	// Claude alone gets the definition right.
+	for _, m := range []string{GPT45, Gemini25, Claude37} {
+		prior := ProfileFor(m).Priors["llite.statahead_max"]
+		if prior.RangeCorrect {
+			t.Errorf("%s should hallucinate the range", m)
+		}
+		wantDef := m == Claude37
+		if prior.DefinitionCorrect != wantDef {
+			t.Errorf("%s definition correctness = %v, want %v", m, prior.DefinitionCorrect, wantDef)
+		}
+	}
+}
+
+func TestUnknownSystemPromptRejected(t *testing.T) {
+	c := New(GPT4o)
+	if _, err := c.Chat(&llm.Request{System: "You are a pirate."}); err == nil {
+		t.Fatal("unknown system prompt accepted")
+	}
+}
+
+func TestExtractJudgeReadsOnlyChunks(t *testing.T) {
+	c := New(GPT4o)
+	chunks := "Parameter fake.param. It controls widget flux and raises bandwidth. " +
+		"The valid range of fake.param is 1 to 99. The default value is 7. " +
+		"To change the value at runtime, write to /x."
+	resp, err := c.Chat(&llm.Request{
+		System: protocol.SysExtractJudge,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "fake.param") +
+			protocol.Section(protocol.SecChunks, chunks)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j protocol.ExtractJudgment
+	block, _ := protocol.FindJSONBlock(resp.Message.Content)
+	if err := json.Unmarshal([]byte(block), &j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Sufficient || j.Min != "1" || j.Max != "99" || j.Default != 7 {
+		t.Fatalf("judgment = %+v", j)
+	}
+	// Without the section in the chunks, the judge must refuse.
+	resp, _ = c.Chat(&llm.Request{
+		System: protocol.SysExtractJudge,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "fake.param") +
+			protocol.Section(protocol.SecChunks, "unrelated text about lustre striping")}},
+	})
+	block, _ = protocol.FindJSONBlock(resp.Message.Content)
+	_ = json.Unmarshal([]byte(block), &j)
+	if j.Sufficient {
+		t.Fatal("judge accepted absent documentation")
+	}
+}
+
+func TestExtractJudgeBinaryDetection(t *testing.T) {
+	c := New(GPT4o)
+	chunks := "Parameter osc.checksums. Enables checksums. " +
+		"The parameter osc.checksums is a binary switch. The valid range is 0 to 1. The default value is 1."
+	resp, err := c.Chat(&llm.Request{
+		System: protocol.SysExtractJudge,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "osc.checksums") +
+			protocol.Section(protocol.SecChunks, chunks)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j protocol.ExtractJudgment
+	block, _ := protocol.FindJSONBlock(resp.Message.Content)
+	_ = json.Unmarshal([]byte(block), &j)
+	if !j.Binary {
+		t.Fatalf("binary not detected: %+v", j)
+	}
+}
+
+func TestImportanceJudgment(t *testing.T) {
+	c := New(GPT4o)
+	ask := func(impact string) bool {
+		resp, err := c.Chat(&llm.Request{
+			System: protocol.SysImportance,
+			Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "p") +
+				"Definition: d\nImpact: " + impact}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j protocol.ImportanceJudgment
+		block, _ := protocol.FindJSONBlock(resp.Message.Content)
+		_ = json.Unmarshal([]byte(block), &j)
+		return j.Significant
+	}
+	if !ask("raises bandwidth and lowers latency for concurrent transfers") {
+		t.Fatal("clear performance impact judged insignificant")
+	}
+	if ask("used to simulate server load for testing and debugging") {
+		t.Fatal("testing facility judged significant")
+	}
+}
+
+// tuningFixture builds a minimal, valid tuning-agent conversation.
+func tuningFixture(features *protocol.Features, withDescs bool, history []protocol.HistoryEntry, ruleJSON string) *llm.Request {
+	params := []protocol.TunableParam{
+		{Name: "lov.stripe_count", Min: "-1", Max: "5", Default: 1},
+		{Name: "lov.stripe_size", Min: "65536", Max: "4294967296", Default: 1 << 20},
+		{Name: "osc.max_rpcs_in_flight", Min: "1", Max: "256", Default: 8},
+		{Name: "mdc.max_rpcs_in_flight", Min: "2", Max: "256", Default: 8},
+		{Name: "mdc.max_mod_rpcs_in_flight", Min: "1", Max: "255", Default: 7},
+		{Name: "llite.statahead_max", Min: "0", Max: "8192", Default: 32},
+		{Name: "osc.short_io_bytes", Min: "0", Max: "65536", Default: 16384},
+		{Name: "ldlm.lru_size", Min: "0", Max: "65536", Default: 0},
+		{Name: "llite.max_read_ahead_mb", Min: "0", Max: "1024", Default: 64},
+		{Name: "llite.max_read_ahead_per_file_mb", Min: "0", Max: "512", Default: 32},
+		{Name: "osc.max_dirty_mb", Min: "1", Max: "2048", Default: 32},
+		{Name: "osc.max_pages_per_rpc", Min: "1", Max: "1024", Default: 256},
+	}
+	if withDescs {
+		for i := range params {
+			params[i].Description = descFor(params[i].Name)
+		}
+	}
+	report := "I/O report prose.\n\n" + protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(features))
+	first := protocol.Section(protocol.SecParams, protocol.MarshalJSONValue(params)) +
+		protocol.Section(protocol.SecCluster, "5 nodes") +
+		protocol.Section(protocol.SecIOReport, report) +
+		protocol.Section(protocol.SecRules, ruleJSON) +
+		protocol.Section(protocol.SecHistory, protocol.MarshalJSONValue(history)) +
+		protocol.Section("INSTRUCTIONS", "tune")
+	return &llm.Request{
+		System:   protocol.SysTuning,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: first}},
+	}
+}
+
+func descFor(name string) string {
+	switch {
+	case strings.Contains(name, "stripe"):
+		return "striping across OSTs"
+	case strings.Contains(name, "read_ahead"):
+		return "read-ahead prefetch"
+	case strings.Contains(name, "statahead"):
+		return "statahead prefetch"
+	}
+	return "a documented parameter"
+}
+
+func metaFeatures() *protocol.Features {
+	return &protocol.Features{Dominant: "metadata", MetaRatio: 0.6, AvgFileKB: 8, AvgWriteKB: 8, FileCount: 1000}
+}
+
+func TestTuningFirstMoveAsksAnalysisOnMetadata(t *testing.T) {
+	c := New(Claude37)
+	hist := []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
+	resp, err := c.Chat(tuningFixture(metaFeatures(), true, hist, "{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 || resp.Message.ToolCalls[0].Name != protocol.ToolAnalysis {
+		t.Fatalf("expected an analysis_request first, got %+v", resp.Message.ToolCalls)
+	}
+}
+
+func TestTuningProposesMetadataConfig(t *testing.T) {
+	c := New(Claude37)
+	hist := []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
+	req := tuningFixture(metaFeatures(), true, hist, "{}")
+	// Simulate the already-asked analysis question.
+	req.Messages = append(req.Messages,
+		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
+		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio is 4.0"},
+	)
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 || resp.Message.ToolCalls[0].Name != protocol.ToolRunConfig {
+		t.Fatalf("expected run_configuration, got %+v", resp.Message.ToolCalls)
+	}
+	var args struct {
+		Config    map[string]int64  `json:"config"`
+		Rationale map[string]string `json:"rationale"`
+	}
+	if err := json.Unmarshal([]byte(resp.Message.ToolCalls[0].Arguments), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.Config["lov.stripe_count"] != 1 {
+		t.Fatalf("metadata workload should use stripe_count 1: %+v", args.Config)
+	}
+	if args.Config["mdc.max_rpcs_in_flight"] <= 8 {
+		t.Fatal("metadata window not widened")
+	}
+	if len(args.Rationale) == 0 {
+		t.Fatal("no rationale documented")
+	}
+}
+
+func TestTuningHallucinatesWithoutDescriptions(t *testing.T) {
+	c := New(Claude37)
+	hist := []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
+	req := tuningFixture(metaFeatures(), false, hist, "{}")
+	req.Messages = append(req.Messages,
+		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
+		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio"},
+	)
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args struct {
+		Config    map[string]int64  `json:"config"`
+		Rationale map[string]string `json:"rationale"`
+	}
+	_ = json.Unmarshal([]byte(resp.Message.ToolCalls[0].Arguments), &args)
+	// The paper's example hallucination: stripe files across all OSTs "to
+	// distribute the files more evenly".
+	if args.Config["lov.stripe_count"] != -1 {
+		t.Fatalf("expected the stripe-count misinterpretation, got %+v", args.Config)
+	}
+	if !strings.Contains(args.Rationale["lov.stripe_count"], "distribute the files more evenly") {
+		t.Fatalf("rationale = %q", args.Rationale["lov.stripe_count"])
+	}
+}
+
+func TestTuningStopsOnDiminishingReturns(t *testing.T) {
+	c := New(Claude37)
+	hist := []protocol.HistoryEntry{
+		{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10},
+		{Iteration: 1, Config: map[string]int64{"osc.max_rpcs_in_flight": 32}, WallTime: 5},
+		{Iteration: 2, Config: map[string]int64{"osc.max_rpcs_in_flight": 64}, WallTime: 4.99},
+	}
+	seq := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9}
+	resp, err := c.Chat(tuningFixture(seq, true, hist, "{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Message.ToolCalls) != 1 || resp.Message.ToolCalls[0].Name != protocol.ToolEndTuning {
+		t.Fatalf("expected end_tuning, got %+v", resp.Message.ToolCalls)
+	}
+}
+
+func TestTuningAppliesRulesFirst(t *testing.T) {
+	c := New(Claude37)
+	ruleJSON := `{"rules":[{"Parameter":"mdc.max_rpcs_in_flight",
+		"Rule Description":"Increase mdc.max_rpcs_in_flight to around 77 (platform default 8)",
+		"Tuning Context":"Workloads that are metadata-intensive: many small files."}]}`
+	hist := []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
+	req := tuningFixture(metaFeatures(), true, hist, ruleJSON)
+	req.Messages = append(req.Messages,
+		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
+		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio"},
+	)
+	resp, err := c.Chat(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args struct {
+		Config map[string]int64 `json:"config"`
+	}
+	_ = json.Unmarshal([]byte(resp.Message.ToolCalls[0].Arguments), &args)
+	if args.Config["mdc.max_rpcs_in_flight"] != 77 {
+		t.Fatalf("rule value not applied: %+v", args.Config)
+	}
+}
+
+func TestReflectProducesMergedRules(t *testing.T) {
+	c := New(Claude37)
+	feats := metaFeatures()
+	prompt := protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(feats)) +
+		protocol.Section(protocol.SecBest, `[{"param":"mdc.max_rpcs_in_flight","value":64,"default":8},
+			{"param":"lov.stripe_size","value":1048576,"default":1048576}]`) +
+		protocol.Section(protocol.SecRules, "{}") +
+		protocol.Section("INSTRUCTIONS", "summarize")
+	resp, err := c.Chat(&llm.Request{
+		System:   protocol.SysReflect,
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: prompt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Message.Content, "mdc.max_rpcs_in_flight") {
+		t.Fatalf("rule missing: %s", resp.Message.Content)
+	}
+	// Unchanged parameters produce no rules.
+	if strings.Contains(resp.Message.Content, "lov.stripe_size") {
+		t.Fatal("rule generated for an unchanged parameter")
+	}
+	if !strings.Contains(resp.Message.Content, "metadata-intensive") {
+		t.Fatal("context class missing from rule")
+	}
+}
+
+func TestRuleValueParsing(t *testing.T) {
+	cases := []struct {
+		desc string
+		want int64
+		ok   bool
+	}{
+		{"Increase x to around 64 (platform default 8)", 64, true},
+		{"Decrease y to 1", 1, true},
+		{"Disable readahead for random access", 0, true},
+		{"scaled to the file and transfer sizes", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := ruleValue(c.desc)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("ruleValue(%q) = %d,%v", c.desc, v, ok)
+		}
+	}
+}

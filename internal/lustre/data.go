@@ -1,0 +1,404 @@
+package lustre
+
+import "stellar/internal/workload"
+
+// chunk is a stripe-aligned piece of an application data request.
+type chunk struct {
+	ost  int
+	off  int64
+	size int64
+}
+
+// stripeChunks splits the byte range [off, off+size) of file f at stripe
+// boundaries and assigns each piece its OST.
+func (r *runner) stripeChunks(f *fileState, off, size int64) []chunk {
+	var out []chunk
+	for size > 0 {
+		stripe := off / f.stripeSize
+		within := off % f.stripeSize
+		n := f.stripeSize - within
+		if n > size {
+			n = size
+		}
+		ost := (f.startOST + int(stripe)%f.stripeCount) % r.spec.OSTCount
+		out = append(out, chunk{ost: ost, off: off, size: n})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// setupService computes the per-RPC setup time spent in an OST service
+// thread: request handling, seek positioning, and checksum CPU. Setup of
+// concurrent RPCs overlaps (NCQ-style), which is why deeper client RPC
+// windows raise random-I/O throughput.
+func (r *runner) setupService(f *fileState, c chunk) float64 {
+	svc := r.spec.RPCServiceFloor
+	if c.size <= r.cfg.shortIO {
+		// Inline (short) I/O skips the bulk transfer setup.
+		svc *= 0.35
+	}
+	last := f.lastOff[c.ost]
+	if last >= 0 && last != c.off {
+		svc += r.spec.DiskSeekTime
+	}
+	if r.cfg.checksums {
+		svc += float64(c.size) * r.spec.ChecksumPerByte
+	}
+	f.lastOff[c.ost] = c.off + c.size
+	return svc * r.jitter()
+}
+
+// mediaTime is the serialized media transfer time for an RPC's payload.
+func (r *runner) mediaTime(size int64, write bool) float64 {
+	bw := r.spec.DiskReadBW
+	if write {
+		bw = r.spec.DiskWriteBW
+	}
+	return float64(size) / bw * r.jitter()
+}
+
+// sendRPC moves size bytes through the client NIC, the OST NIC, an OST
+// service thread (setup + seek), and the serialized media, then replies.
+// done fires when the reply arrives at the client.
+func (r *runner) sendRPC(node int, f *fileState, c chunk, write bool, done func()) {
+	rtt := r.spec.NetworkRTT
+	r.res.DataRPCs++
+	media := r.mediaTime(c.size, write)
+	r.eng.After(rtt/2, func() {
+		r.nodeNIC[node].Send(float64(c.size), func() {
+			r.ostNIC[c.ost].Send(float64(c.size), func() {
+				setup := r.setupService(f, c)
+				r.ostThreads[c.ost].Acquire(func() {
+					r.eng.After(setup, func() {
+						r.ostBW[c.ost].Send(media*r.ostBW[c.ost].Rate(), func() {
+							r.ostThreads[c.ost].Release()
+							r.eng.After(rtt/2, func() {
+								if r.eng.Now() > r.res.LastDataRPC {
+									r.res.LastDataRPC = r.eng.Now()
+								}
+								done()
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// ----------------------------------------------------------------------
+// Write path: dirty page cache with asynchronous write-back.
+// ----------------------------------------------------------------------
+
+func (r *runner) doWrite(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	f := r.files[op.File]
+	if !f.created {
+		// Writing through an unopened file is a workload bug in real life;
+		// adopt the file with current layout to stay robust.
+		r.assignLayout(f, op.File)
+	}
+	if end := op.Offset + op.Size; end > f.size {
+		f.size = end
+	}
+	// Page-cache bookkeeping for later read-back by this node.
+	if op.Offset == f.contigTo[node] {
+		f.contigTo[node] = op.Offset + op.Size
+		r.pageCache[node].touch(op.File, op.Size)
+	}
+	// A size-changing write invalidates cached attributes on OTHER nodes;
+	// the writer holds the lock and serves its own stats locally.
+	for n := 0; n < r.spec.ClientNodes; n++ {
+		if n != node {
+			r.metaCache[n].evict(op.File)
+		}
+	}
+	r.metaCache[node].insert(op.File)
+	seq := op.Offset == f.raState[rank].lastEnd
+	f.raState[rank].lastEnd = op.Offset + op.Size
+
+	chunks := r.stripeChunks(f, op.Offset, op.Size)
+	r.res.BytesWritten += op.Size
+	memcpy := float64(op.Size) / memcpyBW
+
+	// Admit chunks into the dirty cache one at a time, blocking when the
+	// OSC is over its dirty limit (write throttling).
+	var admit func(idx int)
+	admit = func(idx int) {
+		if idx >= len(chunks) {
+			r.eng.After(memcpy*r.jitter(), func() { done(false, seq) })
+			return
+		}
+		c := chunks[idx]
+		osc := r.osc[node][c.ost]
+		if osc.dirty < r.cfg.dirtyBytes {
+			osc.dirty += c.size
+			f.pendingFlush += c.size
+			r.stageChunk(node, op.File, c)
+			admit(idx + 1)
+			return
+		}
+		osc.dirtyWaiters = append(osc.dirtyWaiters, dirtyWaiter{
+			need:   c.size,
+			resume: func() { admit(idx) },
+		})
+	}
+	admit(0)
+}
+
+// stageChunk adds a write-back chunk to the OSC staging area, coalescing
+// with the newest unsent group when contiguous, and kicks the flusher.
+func (r *runner) stageChunk(node int, file int32, c chunk) {
+	osc := r.osc[node][c.ost]
+	if n := len(osc.groups); n > 0 {
+		g := osc.groups[n-1]
+		if !g.sent && g.file == file && g.ost == c.ost &&
+			g.off+g.size == c.off && g.size+c.size <= r.cfg.rpcBytes {
+			g.size += c.size
+			return
+		}
+	}
+	g := &rpcGroup{file: file, ost: c.ost, off: c.off, size: c.size}
+	osc.groups = append(osc.groups, g)
+	r.flushGroup(node, osc, g)
+}
+
+// flushGroup pushes one staged group through the OSC RPC window. The group
+// may continue to grow until the window admits it.
+func (r *runner) flushGroup(node int, osc *oscState, g *rpcGroup) {
+	osc.window.Enter(func() {
+		g.sent = true
+		// Remove from staging.
+		for i, og := range osc.groups {
+			if og == g {
+				osc.groups = append(osc.groups[:i], osc.groups[i+1:]...)
+				break
+			}
+		}
+		f := r.files[g.file]
+		r.sendRPC(node, f, chunk{ost: g.ost, off: g.off, size: g.size}, true, func() {
+			osc.window.Leave()
+			osc.dirty -= g.size
+			r.wakeDirtyWaiters(osc)
+			f.pendingFlush -= g.size
+			if f.pendingFlush == 0 {
+				ws := f.flushWaiters
+				f.flushWaiters = nil
+				for _, w := range ws {
+					w := w
+					r.eng.After(0, w)
+				}
+				if f.pendingClose == 0 {
+					r.wakeQuiesced(f)
+				}
+			}
+		})
+	})
+}
+
+func (r *runner) wakeDirtyWaiters(osc *oscState) {
+	for len(osc.dirtyWaiters) > 0 && osc.dirty < r.cfg.dirtyBytes {
+		w := osc.dirtyWaiters[0]
+		osc.dirtyWaiters = osc.dirtyWaiters[1:]
+		r.eng.After(0, w.resume)
+	}
+}
+
+// waitFlushed runs fn once every write-back byte of f has reached disk.
+func (r *runner) waitFlushed(f *fileState, fn func()) {
+	if f.pendingFlush == 0 {
+		fn()
+		return
+	}
+	f.flushWaiters = append(f.flushWaiters, fn)
+}
+
+// waitQuiesced runs fn once f has no write-back bytes or close RPCs in
+// flight (required before an unlink can be sent).
+func (r *runner) waitQuiesced(f *fileState, fn func()) {
+	if f.pendingFlush == 0 && f.pendingClose == 0 {
+		fn()
+		return
+	}
+	f.quietWaiters = append(f.quietWaiters, fn)
+}
+
+func (r *runner) wakeQuiesced(f *fileState) {
+	ws := f.quietWaiters
+	f.quietWaiters = nil
+	for _, w := range ws {
+		w := w
+		r.eng.After(0, w)
+	}
+}
+
+func (r *runner) doFsync(rank int, op workload.Op, done func(bool, bool)) {
+	f := r.files[op.File]
+	r.waitFlushed(f, func() { done(false, false) })
+}
+
+// ----------------------------------------------------------------------
+// Read path: page cache, readahead, synchronous fetch.
+// ----------------------------------------------------------------------
+
+func (r *runner) doRead(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	f := r.files[op.File]
+	if !f.created {
+		r.assignLayout(f, op.File)
+	}
+	r.res.BytesRead += op.Size
+	ra := &f.raState[rank]
+	seq := op.Offset == ra.lastEnd
+	if seq {
+		ra.streak++
+	} else {
+		ra.streak = 1
+		// A new random position abandons any readahead issued beyond it.
+		if ra.issuedTo > ra.doneTo {
+			r.res.RAWasted += ra.issuedTo - ra.doneTo
+		}
+		ra.issuedTo, ra.doneTo = 0, 0
+	}
+	ra.lastEnd = op.Offset + op.Size
+	end := op.Offset + op.Size
+	memcpy := float64(op.Size) / memcpyBW
+
+	finish := func(hit bool) {
+		r.maybeReadahead(rank, node, op.File, f, end)
+		r.eng.After(memcpy*r.jitter(), func() { done(hit, seq) })
+	}
+
+	// Client page cache: valid when this node wrote the file contiguously
+	// from offset zero past the requested range. No readahead activity is
+	// triggered for cache-resident data.
+	if end <= f.contigTo[node] && r.pageCache[node].contains(op.File) {
+		r.pageCache[node].touch(op.File, 0)
+		r.res.CacheHits++
+		r.eng.After(memcpy*r.jitter(), func() { done(true, seq) })
+		return
+	}
+	// Served entirely by completed readahead?
+	if seq && end <= ra.doneTo {
+		r.res.RAHits++
+		finish(true)
+		return
+	}
+	// Covered by in-flight readahead: wait for it.
+	if seq && end <= ra.issuedTo {
+		ra.waiters = append(ra.waiters, raWaiter{need: end, resume: func() {
+			r.res.RAHits++
+			finish(true)
+		}})
+		return
+	}
+	// Synchronous fetch of the uncovered chunks.
+	chunks := r.stripeChunks(f, op.Offset, op.Size)
+	remaining := len(chunks)
+	for _, c := range chunks {
+		c := c
+		osc := r.osc[node][c.ost]
+		osc.window.Enter(func() {
+			r.sendRPC(node, f, c, false, func() {
+				osc.window.Leave()
+				remaining--
+				if remaining == 0 {
+					if seq && end > ra.doneTo && ra.issuedTo <= end {
+						ra.doneTo, ra.issuedTo = end, end
+					}
+					finish(false)
+				}
+			})
+		})
+	}
+}
+
+// maybeReadahead issues asynchronous prefetch after a sequential streak, up
+// to the per-file window and the node's global budget. It also models the
+// cost of misguided readahead on random access patterns.
+func (r *runner) maybeReadahead(rank, node int, file int32, f *fileState, pos int64) {
+	ra := &f.raState[rank]
+	if r.cfg.raFileBytes == 0 {
+		return
+	}
+	if ra.streak < 2 {
+		// Lustre's detection occasionally misfires on random access and
+		// fetches pages that will be discarded.
+		if ra.streak == 1 && r.rng.Float64() < 0.25 {
+			waste := int64(256 << 10)
+			if waste > r.cfg.raFileBytes {
+				waste = r.cfg.raFileBytes
+			}
+			if r.raBudget[node]+waste <= r.cfg.raBytes {
+				r.raBudget[node] += waste
+				r.res.RAWasted += waste
+				c := chunk{ost: (f.startOST + r.rng.Intn(f.stripeCount)) % r.spec.OSTCount,
+					off: pos, size: waste}
+				osc := r.osc[node][c.ost]
+				osc.window.Enter(func() {
+					r.sendRPC(node, f, c, false, func() {
+						osc.window.Leave()
+						r.raBudget[node] -= waste
+					})
+				})
+			}
+		}
+		return
+	}
+	if ra.issuedTo < pos {
+		ra.issuedTo = pos
+	}
+	if ra.doneTo < pos {
+		ra.doneTo = pos
+	}
+	// Lustre grows the readahead window as sequentiality persists rather
+	// than issuing the full per-file window at once; this bounds wasted
+	// prefetch when a stream ends.
+	window := int64(ra.streak) << 20
+	if window > r.cfg.raFileBytes {
+		window = r.cfg.raFileBytes
+	}
+	target := pos + window
+	if target > f.size {
+		target = f.size
+	}
+	for ra.issuedTo < target {
+		n := r.cfg.rpcBytes
+		if ra.issuedTo+n > target {
+			n = target - ra.issuedTo
+		}
+		if r.raBudget[node]+n > r.cfg.raBytes {
+			return // global budget exhausted
+		}
+		start := ra.issuedTo
+		ra.issuedTo += n
+		r.raBudget[node] += n
+		for _, c := range r.stripeChunks(f, start, n) {
+			c := c
+			osc := r.osc[node][c.ost]
+			osc.window.Enter(func() {
+				r.sendRPC(node, f, c, false, func() {
+					osc.window.Leave()
+					r.raBudget[node] -= c.size
+					if c.off+c.size > ra.doneTo {
+						ra.doneTo = c.off + c.size
+					}
+					r.wakeRAWaiters(ra)
+				})
+			})
+		}
+	}
+}
+
+func (r *runner) wakeRAWaiters(ra *raState) {
+	var still []raWaiter
+	for _, w := range ra.waiters {
+		if w.need <= ra.doneTo {
+			r.eng.After(0, w.resume)
+		} else {
+			still = append(still, w)
+		}
+	}
+	ra.waiters = still
+}

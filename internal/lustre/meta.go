@@ -1,0 +1,345 @@
+package lustre
+
+import (
+	"container/list"
+
+	"stellar/internal/workload"
+)
+
+// ----------------------------------------------------------------------
+// Client-side caches.
+// ----------------------------------------------------------------------
+
+// metaCache models the per-node DLM lock / attribute cache: files present
+// here can be stat'ed and opened without a server round trip. Statahead
+// prefetch populates it; unlink evicts. Capacity is ldlm.lru_size entries.
+type metaCache struct {
+	cap      int
+	lru      *list.List // front = most recent; values are int32 file ids
+	entries  map[int32]*list.Element
+	inflight map[int32][]func() // statahead fetches in progress; waiters
+}
+
+func newMetaCache(capacity int) *metaCache {
+	return &metaCache{
+		cap:      capacity,
+		lru:      list.New(),
+		entries:  make(map[int32]*list.Element),
+		inflight: make(map[int32][]func()),
+	}
+}
+
+func (m *metaCache) contains(f int32) bool {
+	e, ok := m.entries[f]
+	if ok {
+		m.lru.MoveToFront(e)
+	}
+	return ok
+}
+
+func (m *metaCache) insert(f int32) {
+	if e, ok := m.entries[f]; ok {
+		m.lru.MoveToFront(e)
+		return
+	}
+	m.entries[f] = m.lru.PushFront(f)
+	for m.lru.Len() > m.cap {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.entries, back.Value.(int32))
+	}
+}
+
+func (m *metaCache) evict(f int32) {
+	if e, ok := m.entries[f]; ok {
+		m.lru.Remove(e)
+		delete(m.entries, f)
+	}
+}
+
+// pageCache tracks which files a node holds clean data for, bounded by
+// llite.max_cached_mb. Sizes are approximate (whole-file granularity).
+type pageCache struct {
+	cap     int64
+	total   int64
+	sizes   map[int32]int64
+	lru     *list.List
+	entries map[int32]*list.Element
+}
+
+func newPageCache(capacity int64) *pageCache {
+	return &pageCache{
+		cap:     capacity,
+		sizes:   make(map[int32]int64),
+		lru:     list.New(),
+		entries: make(map[int32]*list.Element),
+	}
+}
+
+func (p *pageCache) contains(f int32) bool {
+	_, ok := p.sizes[f]
+	return ok
+}
+
+// touch records extra bytes cached for f and refreshes recency, evicting
+// least-recently-used files beyond capacity.
+func (p *pageCache) touch(f int32, addBytes int64) {
+	if e, ok := p.entries[f]; ok {
+		p.lru.MoveToFront(e)
+		p.sizes[f] += addBytes
+		p.total += addBytes
+	} else {
+		p.entries[f] = p.lru.PushFront(f)
+		p.sizes[f] = addBytes
+		p.total += addBytes
+	}
+	for p.total > p.cap && p.lru.Len() > 1 {
+		back := p.lru.Back()
+		id := back.Value.(int32)
+		p.total -= p.sizes[id]
+		delete(p.sizes, id)
+		delete(p.entries, id)
+		p.lru.Remove(back)
+	}
+}
+
+func (p *pageCache) drop(f int32) {
+	if e, ok := p.entries[f]; ok {
+		p.total -= p.sizes[f]
+		delete(p.sizes, f)
+		delete(p.entries, f)
+		p.lru.Remove(e)
+	}
+}
+
+// ----------------------------------------------------------------------
+// Metadata operations.
+// ----------------------------------------------------------------------
+
+// assignLayout stamps the file with the configured striping at create time.
+// The starting OST is a hash of the file id: like Lustre's weighted
+// allocator, placement is only statistically balanced, so file-per-process
+// workloads see OST load imbalance unless files are striped wider.
+func (r *runner) assignLayout(f *fileState, id int32) {
+	f.created = true
+	f.stripeCount = r.cfg.stripeCount
+	f.stripeSize = r.cfg.stripeSize
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	f.startOST = int(h % uint64(r.spec.OSTCount))
+}
+
+// metaRPC performs one metadata RPC through the given window gate with the
+// given MDS service time and optional directory-lock serial section.
+func (r *runner) metaRPC(node int, gate int, dir int32, serial, service float64, done func()) {
+	g := r.mdc[node]
+	if gate == gateMod {
+		g = r.mdcMod[node]
+	}
+	rtt := r.spec.NetworkRTT
+	r.res.MetaRPCs++
+	g.Enter(func() {
+		r.eng.After(rtt/2, func() {
+			proceed := func() {
+				r.mds.Use(service*r.jitter(), func() {
+					r.eng.After(rtt/2, func() {
+						g.Leave()
+						if r.eng.Now() > r.res.LastMetaRPC {
+							r.res.LastMetaRPC = r.eng.Now()
+						}
+						done()
+					})
+				})
+			}
+			if serial > 0 && dir >= 0 {
+				r.dirLock[dir].Use(serial*r.jitter(), proceed)
+			} else {
+				proceed()
+			}
+		})
+	})
+}
+
+const (
+	gateStat = iota
+	gateMod
+)
+
+func (r *runner) doCreate(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	f := r.files[op.File]
+	r.assignLayout(f, op.File)
+	f.size = 0
+	for n := range f.contigTo {
+		f.contigTo[n] = 0
+	}
+	// A create allocates fresh objects: the allocator appends, so the first
+	// write to each object pays no seek.
+	for o := range f.lastOff {
+		f.lastOff[o] = -1
+	}
+	svc := r.spec.MDSCreateTime + r.spec.MDSPerStripeCost*float64(f.stripeCount-1)
+	serial := svc * r.spec.DirLockSerial
+	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, func() {
+		r.metaCache[node].insert(op.File)
+		done(false, false)
+	})
+}
+
+func (r *runner) doOpen(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	mc := r.metaCache[node]
+	if mc.contains(op.File) {
+		r.res.StatHits++
+		r.eng.After(localHitTime*r.jitter(), func() { done(true, false) })
+		return
+	}
+	if ws, ok := mc.inflight[op.File]; ok {
+		mc.inflight[op.File] = append(ws, func() {
+			r.res.StatHits++
+			done(true, false)
+		})
+		return
+	}
+	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSOpenTime, func() {
+		mc.insert(op.File)
+		done(false, false)
+	})
+}
+
+func (r *runner) doStat(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	mc := r.metaCache[node]
+	r.triggerStatahead(rank, node, op)
+	if mc.contains(op.File) {
+		r.res.StatHits++
+		r.eng.After(localHitTime*r.jitter(), func() { done(true, false) })
+		return
+	}
+	if ws, ok := mc.inflight[op.File]; ok {
+		mc.inflight[op.File] = append(ws, func() {
+			r.res.StatHits++
+			done(true, false)
+		})
+		return
+	}
+	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, func() {
+		mc.insert(op.File)
+		done(false, false)
+	})
+}
+
+// statStreak tracks consecutive in-order directory-entry stats per rank.
+type statStreak struct {
+	dir    int32
+	last   int32
+	streak int
+}
+
+// triggerStatahead detects a readdir-plus-stat pattern (in-order stats of
+// entries of the same directory) and prefetches attributes and locks for
+// the next llite.statahead_max entries through the non-modifying metadata
+// window, populating the node's metaCache so later stats AND opens hit.
+func (r *runner) triggerStatahead(rank, node int, op workload.Op) {
+	if r.cfg.statahead == 0 || op.Dir < 0 {
+		return
+	}
+	ss := &r.statStreaks[rank]
+	if ss.dir == op.Dir && op.Index == ss.last+1 {
+		ss.streak++
+	} else if ss.dir != op.Dir || op.Index != ss.last {
+		ss.streak = 1
+	}
+	ss.dir, ss.last = op.Dir, op.Index
+	if ss.streak < 2 {
+		return
+	}
+	entries := r.dirFiles[op.Dir]
+	mc := r.metaCache[node]
+	limit := int(op.Index) + 1 + r.cfg.statahead
+	if limit > len(entries) {
+		limit = len(entries)
+	}
+	inflight := len(mc.inflight)
+	for i := int(op.Index) + 1; i < limit; i++ {
+		if inflight >= r.cfg.statahead {
+			break
+		}
+		fid := entries[i]
+		if mc.contains(fid) {
+			continue
+		}
+		if _, ok := mc.inflight[fid]; ok {
+			continue
+		}
+		mc.inflight[fid] = nil
+		inflight++
+		r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, func() {
+			mc.insert(fid)
+			ws := mc.inflight[fid]
+			delete(mc.inflight, fid)
+			for _, w := range ws {
+				w := w
+				r.eng.After(localHitTime, w)
+			}
+		})
+	}
+}
+
+func (r *runner) doClose(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	f := r.files[op.File]
+	// Lustre sends MDS_CLOSE asynchronously: the application continues
+	// immediately while the close RPC occupies the modifying-RPC window.
+	f.pendingClose++
+	r.metaRPC(node, gateMod, -1, 0, r.spec.MDSCloseTime, func() {
+		f.pendingClose--
+		if f.pendingClose == 0 && f.pendingFlush == 0 {
+			r.wakeQuiesced(f)
+		}
+	})
+	r.eng.After(localHitTime*r.jitter(), func() { done(false, false) })
+}
+
+func (r *runner) doUnlink(rank int, op workload.Op, done func(bool, bool)) {
+	// Lustre permits unlinking files with outstanding opens or dirty data;
+	// object destruction happens server-side at last close.
+	node := r.node(rank)
+	f := r.files[op.File]
+	svc := r.spec.MDSUnlinkTime + r.spec.MDSPerStripeCost*float64(max(f.stripeCount-1, 0))
+	serial := svc * r.spec.DirLockSerial
+	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, func() {
+		for n := 0; n < r.spec.ClientNodes; n++ {
+			r.metaCache[n].evict(op.File)
+			r.pageCache[n].drop(op.File)
+		}
+		f.created = false
+		done(false, false)
+	})
+}
+
+func (r *runner) doMkdir(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	r.metaRPC(node, gateMod, op.Dir, 0, r.spec.MDSCreateTime, func() {
+		done(false, false)
+	})
+}
+
+func (r *runner) doReaddir(rank int, op workload.Op, done func(bool, bool)) {
+	node := r.node(rank)
+	entries := len(r.dirFiles[op.Dir])
+	svc := r.spec.MDSReaddirTime * float64(entries)
+	if svc <= 0 {
+		svc = r.spec.MDSReaddirTime
+	}
+	r.metaRPC(node, gateStat, -1, 0, svc, func() {
+		done(false, false)
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+package lustre
+
+import (
+	"math/rand"
+
+	"stellar/internal/cluster"
+	"stellar/internal/sim"
+	"stellar/internal/workload"
+)
+
+// memcpyBW models client-side page copies (bytes/second).
+const memcpyBW = 8e9
+
+// localHitTime is the cost of a metadata operation fully served by the
+// client lock/attribute cache.
+const localHitTime = 4e-6
+
+// noiseAmp is the multiplicative jitter applied to every service time;
+// different seeds produce run-to-run variance of a few percent, mirroring
+// the paper's 8-repetition averaging protocol.
+const noiseAmp = 0.04
+
+type runner struct {
+	eng  *sim.Engine
+	spec cluster.Spec
+	cfg  cfgValues
+	w    *workload.Workload
+	rng  *rand.Rand
+	sink TraceSink
+
+	nodeNIC    []*sim.Pipe
+	ostNIC     []*sim.Pipe
+	ostThreads []*sim.Resource // seek/setup stage (NCQ-style overlap)
+	ostBW      []*sim.Pipe     // serialized media bandwidth
+	mds        *sim.Resource
+	dirLock    []*sim.Resource
+
+	osc       [][]*oscState // [node][ost]
+	mdc       []*sim.Gate   // per node, non-modifying metadata window
+	mdcMod    []*sim.Gate   // per node, modifying metadata window
+	metaCache []*metaCache  // per node lock/attribute cache
+	pageCache []*pageCache  // per node clean data cache
+	raBudget  []int64       // per node outstanding readahead bytes
+
+	files    []*fileState
+	dirFiles [][]int32 // directory -> files in entry order
+
+	barrierWaitQ []func()
+	barrierCount int
+
+	statStreaks []statStreak // per rank
+
+	res Result
+}
+
+type fileState struct {
+	stripeCount int
+	stripeSize  int64
+	startOST    int
+	created     bool
+	size        int64 // high-water mark of written bytes
+
+	pendingFlush int64    // bytes queued for write-back, not yet on disk
+	pendingClose int      // asynchronous close RPCs in flight
+	flushWaiters []func() // fsync waiting for pendingFlush == 0
+	quietWaiters []func() // unlink waiting for flush and close completion
+
+	lastOff  []int64 // per OST object: last accessed offset (seek model)
+	contigTo []int64 // per node: contiguous-from-zero written bytes (page cache)
+	raState  []raState
+}
+
+type raState struct {
+	lastEnd  int64
+	streak   int
+	issuedTo int64
+	doneTo   int64
+	waiters  []raWaiter
+}
+
+type raWaiter struct {
+	need   int64
+	resume func()
+}
+
+// oscState models one object storage client (per client node, per OST).
+type oscState struct {
+	window       *sim.Gate
+	dirty        int64
+	groups       []*rpcGroup // write-back staging, oldest first
+	dirtyWaiters []dirtyWaiter
+}
+
+type dirtyWaiter struct {
+	need   int64
+	resume func()
+}
+
+// rpcGroup is a coalesced write-back RPC being staged or in flight.
+type rpcGroup struct {
+	file int32
+	ost  int
+	off  int64
+	size int64
+	sent bool
+}
+
+func newRunner(w *workload.Workload, opts Options, cv cfgValues) *runner {
+	eng := sim.NewEngine()
+	spec := opts.Spec
+	r := &runner{
+		eng:  eng,
+		spec: spec,
+		cfg:  cv,
+		w:    w,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		sink: opts.Trace,
+	}
+	nodes := spec.ClientNodes
+	r.nodeNIC = make([]*sim.Pipe, nodes)
+	r.mdc = make([]*sim.Gate, nodes)
+	r.mdcMod = make([]*sim.Gate, nodes)
+	r.metaCache = make([]*metaCache, nodes)
+	r.pageCache = make([]*pageCache, nodes)
+	r.raBudget = make([]int64, nodes)
+	r.osc = make([][]*oscState, nodes)
+	for n := 0; n < nodes; n++ {
+		r.nodeNIC[n] = sim.NewPipe(eng, "nic", spec.NICBandwidth)
+		r.mdc[n] = sim.NewGate(eng, "mdc", cv.mdcWindow)
+		r.mdcMod[n] = sim.NewGate(eng, "mdc-mod", cv.mdcModWin)
+		r.metaCache[n] = newMetaCache(cv.lruSize)
+		r.pageCache[n] = newPageCache(cv.cachedBytes)
+		r.osc[n] = make([]*oscState, spec.OSTCount)
+		for o := 0; o < spec.OSTCount; o++ {
+			r.osc[n][o] = &oscState{window: sim.NewGate(eng, "osc", cv.rpcWindow)}
+		}
+	}
+	r.ostNIC = make([]*sim.Pipe, spec.OSTCount)
+	r.ostThreads = make([]*sim.Resource, spec.OSTCount)
+	r.ostBW = make([]*sim.Pipe, spec.OSTCount)
+	for o := 0; o < spec.OSTCount; o++ {
+		r.ostNIC[o] = sim.NewPipe(eng, "ost-nic", spec.NICBandwidth)
+		r.ostThreads[o] = sim.NewResource(eng, "ost-threads", spec.OSTServiceThreads)
+		r.ostBW[o] = sim.NewPipe(eng, "ost-bw", spec.DiskWriteBW)
+	}
+	r.mds = sim.NewResource(eng, "mds", spec.MDSServiceThreads)
+	r.dirLock = make([]*sim.Resource, w.DirCount)
+	for d := range r.dirLock {
+		r.dirLock[d] = sim.NewResource(eng, "dir", 1)
+	}
+	r.files = make([]*fileState, len(w.Files))
+	for i := range r.files {
+		r.files[i] = &fileState{
+			lastOff:  make([]int64, spec.OSTCount),
+			contigTo: make([]int64, nodes),
+			raState:  make([]raState, w.NumRanks()),
+		}
+		for o := range r.files[i].lastOff {
+			r.files[i].lastOff[o] = -1
+		}
+	}
+	r.statStreaks = make([]statStreak, w.NumRanks())
+	for i := range r.statStreaks {
+		r.statStreaks[i] = statStreak{dir: -1, last: -2}
+	}
+	r.dirFiles = make([][]int32, w.DirCount)
+	for fi, fm := range w.Files {
+		r.dirFiles[fm.Dir] = append(r.dirFiles[fm.Dir], int32(fi))
+	}
+	return r
+}
+
+func (r *runner) node(rank int) int { return rank / r.spec.ProcsPerNode }
+
+// jitter returns a small multiplicative noise factor.
+func (r *runner) jitter() float64 {
+	return 1 + noiseAmp*(r.rng.Float64()*2-1)
+}
+
+func (r *runner) run() *Result {
+	for rank := range r.w.Ranks {
+		rank := rank
+		r.eng.At(0, func() { r.step(rank, 0) })
+	}
+	r.res.WallTime = r.eng.Run()
+	return &r.res
+}
+
+// step executes op index i of rank and schedules the next one on completion.
+func (r *runner) step(rank, i int) {
+	ops := r.w.Ranks[rank]
+	if i >= len(ops) {
+		return
+	}
+	op := ops[i]
+	start := r.eng.Now()
+	done := func(hit, seq bool) {
+		if r.sink != nil {
+			r.sink.Record(Event{
+				Rank: rank, Op: op.Type, File: op.File, Offset: op.Offset,
+				Size: op.Size, Start: start, End: r.eng.Now(),
+				CacheHit: hit, Sequential: seq,
+			})
+		}
+		think := r.w.ComputePerOp
+		r.eng.After(think, func() { r.step(rank, i+1) })
+	}
+	switch op.Type {
+	case workload.OpWrite:
+		r.doWrite(rank, op, done)
+	case workload.OpRead:
+		r.doRead(rank, op, done)
+	case workload.OpCreate:
+		r.doCreate(rank, op, done)
+	case workload.OpOpen:
+		r.doOpen(rank, op, done)
+	case workload.OpClose:
+		r.doClose(rank, op, done)
+	case workload.OpStat:
+		r.doStat(rank, op, done)
+	case workload.OpUnlink:
+		r.doUnlink(rank, op, done)
+	case workload.OpMkdir:
+		r.doMkdir(rank, op, done)
+	case workload.OpReaddir:
+		r.doReaddir(rank, op, done)
+	case workload.OpFsync:
+		r.doFsync(rank, op, done)
+	case workload.OpBarrier:
+		r.doBarrier(rank, done)
+	default:
+		done(false, false)
+	}
+}
+
+func (r *runner) doBarrier(rank int, done func(bool, bool)) {
+	r.barrierCount++
+	r.barrierWaitQ = append(r.barrierWaitQ, func() { done(false, false) })
+	if r.barrierCount == r.w.NumRanks() {
+		r.res.BarrierTimes = append(r.res.BarrierTimes, r.eng.Now())
+		q := r.barrierWaitQ
+		r.barrierWaitQ = nil
+		r.barrierCount = 0
+		for _, f := range q {
+			f := f
+			r.eng.After(0, f)
+		}
+	}
+}

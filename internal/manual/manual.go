@@ -1,0 +1,146 @@
+// Package manual generates the synthetic Lustre Operations Manual the RAG
+// pipeline indexes. Parameter sections are derived from the ground-truth
+// registry (definition, I/O impact, valid range, default); general chapters
+// provide realistic retrieval noise. Parameters graded DocThin get only a
+// vague mention; DocNone parameters never appear — so the extraction
+// pipeline's sufficiency filter has genuine work to do.
+package manual
+
+import (
+	"fmt"
+	"strings"
+
+	"stellar/internal/params"
+)
+
+// Section is one titled unit of the manual.
+type Section struct {
+	Title string
+	Body  string
+}
+
+// Generate builds the full manual for a registry.
+func Generate(reg *params.Registry) []Section {
+	var out []Section
+	out = append(out, generalChapters()...)
+	for _, p := range reg.All() {
+		switch p.Doc {
+		case params.DocFull:
+			out = append(out, fullSection(p))
+		case params.DocThin:
+			out = append(out, thinSection(p))
+		}
+	}
+	out = append(out, appendixChapters()...)
+	return out
+}
+
+// FullText concatenates the manual for chunking.
+func FullText(reg *params.Registry) string {
+	var b strings.Builder
+	b.WriteString("Lustre Software Release 2.x Operations Manual (simulated edition)\n\n")
+	for _, s := range Generate(reg) {
+		fmt.Fprintf(&b, "Section: %s\n\n%s\n\n", s.Title, s.Body)
+	}
+	return b.String()
+}
+
+func fullSection(p *params.Param) Section {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parameter %s.\n", p.Name)
+	fmt.Fprintf(&b, "%s %s\n", p.Definition, p.Impact)
+	if p.Binary {
+		fmt.Fprintf(&b, "The parameter %s is a binary switch. The valid range is 0 to 1. The default value is %d.\n",
+			p.Name, p.Default)
+	} else {
+		fmt.Fprintf(&b, "The valid range of %s is %s. The default value is %d",
+			p.Name, p.RangeText(), p.Default)
+		if p.Unit != "" {
+			fmt.Fprintf(&b, " %s", p.Unit)
+		}
+		b.WriteString(".\n")
+	}
+	fmt.Fprintf(&b, "To change the value at runtime, write to %s with lctl set_param.\n", p.Path)
+	return Section{Title: "Tuning " + p.Name, Body: b.String()}
+}
+
+func thinSection(p *params.Param) Section {
+	body := fmt.Sprintf(
+		"The parameter %s exists under %s. %s Consult support before modifying this setting.\n",
+		p.Name, p.Path, p.Definition)
+	return Section{Title: "Notes on " + p.Name, Body: body}
+}
+
+func generalChapters() []Section {
+	return []Section{
+		{"Introduction to the Lustre Architecture", `Lustre is an object-based, parallel
+file system composed of metadata servers (MDS), object storage servers (OSS)
+hosting object storage targets (OSTs), and clients. Clients communicate with
+servers over RPCs carried by the LNet transport. File metadata lives on the
+MDS while file data is striped across one or more OSTs according to the
+file layout. The llite layer implements the client VFS interface, the lov
+layer implements striping, the osc layer manages object storage client
+state per OST, and the mdc layer manages the metadata client connection.`},
+		{"Understanding File Striping", `Every Lustre file has a layout describing how its
+data is distributed across OSTs. The layout is fixed when the file is
+created and is controlled by the stripe count and stripe size settings of
+the file or its parent directory. Striping a large file across several OSTs
+lets many servers serve it concurrently; striping a small file widely only
+adds object-allocation overhead at creation time. Administrators commonly
+set layouts per directory with lfs setstripe.`},
+		{"Client I/O Path", `Writes enter the client page cache, are aggregated into bulk
+RPCs, and are written back asynchronously by OSC write-back threads. Reads
+consult the page cache, may trigger read-ahead for detected sequential
+streams, and otherwise fetch data synchronously. Metadata operations travel
+through the MDC to the MDS. The number of concurrent RPCs per target and
+the size of each bulk RPC are the primary levers over pipeline depth.`},
+		{"Network Request Scheduler (NRS)", `The network request scheduler on each server
+orders incoming RPCs according to the active policy. Policies include FIFO,
+client round-robin (CRR), object-based round-robin (ORR), and the delay
+policy used for fault and load testing. The delay policy holds back a
+configurable percentage of requests for a configurable time to simulate a
+loaded or degraded server; it is not intended for production tuning.`},
+		{"Benchmarking Recommendations", `Before tuning, establish a baseline with a
+representative workload and record the achieved bandwidth and metadata
+rates. Change one group of related parameters at a time, rerun, and keep
+notes: many parameters interact, and a setting that helps one workload can
+hurt another. Always restore defaults before benchmarking a new proposal.`},
+		{"Lock Management (LDLM)", `The Lustre distributed lock manager grants clients
+locks protecting cached data and attributes. Locks not in active use are
+kept in a least-recently-used list per namespace and cancelled when the
+list overflows or entries age out. Lock cache behaviour is controlled by
+the ldlm namespace parameters.`},
+		{"Metadata Performance", `Metadata-heavy workloads — many small files, deep
+directory trees, or stat-heavy scans — stress the MDS rather than the OSTs.
+Client-side windows bound the number of concurrent metadata requests, and
+the statahead mechanism prefetches attributes during directory traversals.
+Creating files in a single shared directory serialises on the directory
+lock; spreading work across directories restores parallelism.`},
+		{"Checksums and Data Integrity", `Lustre can checksum bulk data on the wire to
+detect corruption between client and OST. Checksumming consumes CPU on both
+ends and reduces peak bandwidth by roughly ten to twenty percent depending
+on the processor. Sites choose the trade-off according to their integrity
+requirements; performance tooling must not silently change it.`},
+	}
+}
+
+func appendixChapters() []Section {
+	return []Section{
+		{"Appendix: Installing Lustre", `Installation requires matching kernel and
+Lustre module versions on servers and clients. Format OSTs and the MDT with
+mkfs.lustre, specifying the management node, then mount the targets. The
+file system block size and mount point are fixed at format and mount time
+respectively and cannot be changed at runtime.`},
+		{"Appendix: Monitoring", `Per-target statistics are exported under /proc/fs/lustre
+and /sys/fs/lustre. The stats files report RPC counts and latencies;
+brw_stats histograms bulk I/O sizes; jobstats attributes server load to
+scheduler jobs. Monitoring tools sample these counters without affecting
+the I/O path.`},
+		{"Appendix: Troubleshooting Slow I/O", `Slow I/O usually traces to one of four
+causes: a workload striped onto too few OSTs, shallow RPC pipelines leaving
+servers idle between requests, small unaligned accesses defeating the page
+cache, or a saturated MDS serialising metadata. Darshan or similar tracing
+tools identify which pattern an application exhibits; tune the matching
+parameter group rather than guessing.`},
+	}
+}

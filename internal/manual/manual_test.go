@@ -1,0 +1,65 @@
+package manual
+
+import (
+	"strings"
+	"testing"
+
+	"stellar/internal/params"
+)
+
+func TestGenerateCoverage(t *testing.T) {
+	reg := params.Lustre()
+	sections := Generate(reg)
+	text := FullText(reg)
+
+	for _, p := range reg.All() {
+		mentioned := strings.Contains(text, p.Name)
+		switch p.Doc {
+		case params.DocNone:
+			// DocNone parameters never get their own section; the marker
+			// sentence must be absent.
+			if strings.Contains(text, "Parameter "+p.Name+".") {
+				t.Errorf("%s has a section despite DocNone", p.Name)
+			}
+		case params.DocThin:
+			if !mentioned {
+				t.Errorf("%s (DocThin) not mentioned at all", p.Name)
+			}
+			if strings.Contains(text, "The valid range of "+p.Name) {
+				t.Errorf("%s (DocThin) documents a range", p.Name)
+			}
+		case params.DocFull:
+			if !strings.Contains(text, "Parameter "+p.Name+".") {
+				t.Errorf("%s (DocFull) lacks its section", p.Name)
+			}
+			if !p.Binary && !strings.Contains(text, "The valid range of "+p.Name+" is "+p.RangeText()) {
+				t.Errorf("%s (DocFull) lacks its range sentence", p.Name)
+			}
+		}
+	}
+	if len(sections) < 20 {
+		t.Fatalf("manual too small: %d sections", len(sections))
+	}
+}
+
+func TestBinarySectionsMarked(t *testing.T) {
+	reg := params.Lustre()
+	text := FullText(reg)
+	if !strings.Contains(text, "The parameter osc.checksums is a binary switch.") {
+		t.Fatal("binary marker sentence missing for osc.checksums")
+	}
+}
+
+func TestGeneralChaptersPresent(t *testing.T) {
+	text := FullText(params.Lustre())
+	for _, want := range []string{
+		"Introduction to the Lustre Architecture",
+		"Understanding File Striping",
+		"Network Request Scheduler",
+		"Appendix: Troubleshooting Slow I/O",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing chapter %q", want)
+		}
+	}
+}

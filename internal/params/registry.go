@@ -1,0 +1,339 @@
+package params
+
+// Lustre returns the ground-truth parameter table for the simulated Lustre
+// 2.15 deployment. The table is the single source of truth: the simulated
+// procfs tree, the synthetic manual, the Figure 2 fact scoring, and the
+// performance model all derive from it.
+//
+// Thirteen runtime-writable, performance-critical, non-binary parameters
+// are expected to survive the RAG extraction pipeline, matching the count
+// the paper reports for Lustre.
+func Lustre() *Registry {
+	list := []*Param{
+		// ------------------------------------------------------------------
+		// The 13 high-impact tunables.
+		// ------------------------------------------------------------------
+		{
+			Name: "lov.stripe_count", Path: "/proc/fs/lustre/lov/stripe_count",
+			Writable: true, Kind: KindInt, Default: 1, Min: -1, MaxExpr: "ost_count",
+			Unit: "OSTs", Doc: DocFull, PerfCritical: true,
+			Definition: "The number of Object Storage Targets (OSTs) across which a file will be striped.",
+			Impact: "Higher stripe counts let a single shared file exploit the aggregate bandwidth " +
+				"of multiple OSTs, improving throughput for large files accessed by many processes. " +
+				"For workloads creating many small files, a stripe count of 1 avoids the per-object " +
+				"creation overhead added for every additional stripe.",
+		},
+		{
+			Name: "lov.stripe_size", Path: "/proc/fs/lustre/lov/stripe_size",
+			Writable: true, Kind: KindBytes, Default: 1 << 20, Min: 64 << 10, Max: 4 << 30,
+			Unit: "bytes", Doc: DocFull, PerfCritical: true,
+			Definition: "The number of bytes stored on each OST before the file layout advances to the next OST.",
+			Impact: "Stripe size controls how I/O accesses are distributed across OSTs. Aligning the " +
+				"stripe size with the application transfer size avoids splitting requests across " +
+				"servers; small stripes spread concurrent random accesses over more OSTs, while " +
+				"large sequential transfers benefit from stripes at least as large as the transfer.",
+		},
+		{
+			Name: "osc.max_rpcs_in_flight", Path: "/proc/fs/lustre/osc/max_rpcs_in_flight",
+			Writable: true, Kind: KindInt, Default: 8, Min: 1, Max: 256,
+			Unit: "RPCs", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum number of concurrent remote procedure calls (RPCs) an object storage client (OSC) may have outstanding to a single OST.",
+			Impact: "This window controls the concurrency of data transfers and directly influences " +
+				"both latency and bandwidth: a deeper window keeps the network and OST disks busy, " +
+				"while an excessive window only adds server-side queueing.",
+		},
+		{
+			Name: "osc.max_pages_per_rpc", Path: "/proc/fs/lustre/osc/max_pages_per_rpc",
+			Writable: true, Kind: KindInt, Default: 256, Min: 1, Max: 1024,
+			Unit: "pages", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum number of 4 KiB pages carried by one bulk read or write RPC, bounding the RPC payload at max_pages_per_rpc * 4 KiB.",
+			Impact: "Larger RPCs amortise per-request overhead and round trips, raising bandwidth for " +
+				"large sequential transfers; small random requests are unaffected because an RPC " +
+				"never carries more data than the application asked for.",
+		},
+		{
+			Name: "osc.max_dirty_mb", Path: "/proc/fs/lustre/osc/max_dirty_mb",
+			Writable: true, Kind: KindMB, Default: 32, Min: 1, Max: 2048,
+			Unit: "MiB", Doc: DocFull, PerfCritical: true,
+			Definition: "The amount of dirty (unwritten) client page cache, in MiB, each OSC may accumulate before writers are throttled.",
+			Impact: "A larger dirty limit lets applications continue computing while write-back " +
+				"proceeds asynchronously, absorbing write bursts; a small limit forces writers to " +
+				"block on RPC completion, serialising computation and I/O.",
+		},
+		{
+			Name: "osc.short_io_bytes", Path: "/proc/fs/lustre/osc/short_io_bytes",
+			Writable: true, Kind: KindBytes, Default: 16384, Min: 0, Max: 65536,
+			Unit: "bytes", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum request size, in bytes, sent inline inside the RPC descriptor instead of through a separate bulk transfer.",
+			Impact: "Inlining small reads and writes removes one network round trip per request, " +
+				"noticeably reducing latency for workloads dominated by small files or small " +
+				"record sizes.",
+		},
+		{
+			Name: "llite.max_read_ahead_mb", Path: "/proc/fs/lustre/llite/max_read_ahead_mb",
+			Writable: true, Kind: KindMB, Default: 64, Min: 0, MaxExpr: "memory_mb / 2",
+			Unit: "MiB", Doc: DocFull, PerfCritical: true,
+			Definition: "The total amount of client memory, in MiB, the llite layer may fill with read-ahead pages across all files.",
+			Impact: "Read-ahead pipelines sequential reads so the application finds data already " +
+				"cached, substantially improving sequential read bandwidth. Random readers gain " +
+				"nothing and may waste network and OST bandwidth on discarded pages.",
+		},
+		{
+			Name: "llite.max_read_ahead_per_file_mb", Path: "/proc/fs/lustre/llite/max_read_ahead_per_file_mb",
+			Writable: true, Kind: KindMB, Default: 32, Min: 0, MaxExpr: "llite.max_read_ahead_mb / 2",
+			Unit: "MiB", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum read-ahead window, in MiB, maintained for a single file; it must not exceed half of llite.max_read_ahead_mb.",
+			Impact: "A deeper per-file window keeps more sequential read RPCs in flight for streaming " +
+				"access to a single large file; the global max_read_ahead_mb budget caps the total.",
+		},
+		{
+			Name: "llite.max_cached_mb", Path: "/proc/fs/lustre/llite/max_cached_mb",
+			Writable: true, Kind: KindMB, Default: 1024, Min: 64, MaxExpr: "memory_mb * 3 / 4",
+			Unit: "MiB", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum amount of clean page cache, in MiB, the client retains for previously read or written file data.",
+			Impact: "Workloads that re-read data they recently wrote or read are served from client " +
+				"memory instead of issuing RPCs, eliminating network round trips and OST work " +
+				"entirely for cache-resident working sets.",
+		},
+		{
+			Name: "llite.statahead_max", Path: "/proc/fs/lustre/llite/statahead_max",
+			Writable: true, Kind: KindInt, Default: 32, Min: 0, Max: 8192,
+			Unit: "entries", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum number of directory entries for which attributes are prefetched asynchronously when a readdir-plus-stat pattern is detected; 0 disables statahead.",
+			Impact: "Statahead hides metadata latency for directory traversals (ls -l, find, per-file " +
+				"stat loops) by overlapping getattr RPCs, dramatically raising stat throughput on " +
+				"directories with many entries.",
+		},
+		{
+			Name: "mdc.max_rpcs_in_flight", Path: "/proc/fs/lustre/mdc/max_rpcs_in_flight",
+			Writable: true, Kind: KindInt, Default: 8, Min: 2, Max: 256,
+			Unit: "RPCs", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum number of concurrent metadata RPCs a metadata client (MDC) may have outstanding to the MDS.",
+			Impact: "Metadata-intensive workloads (many opens, stats, or lookups) are limited by this " +
+				"window; raising it lets a client keep the MDS service threads busy instead of " +
+				"serialising metadata requests.",
+		},
+		{
+			Name: "mdc.max_mod_rpcs_in_flight", Path: "/proc/fs/lustre/mdc/max_mod_rpcs_in_flight",
+			Writable: true, Kind: KindInt, Default: 7, Min: 1, MaxExpr: "mdc.max_rpcs_in_flight - 1",
+			Unit: "RPCs", Doc: DocFull, PerfCritical: true,
+			Definition: "The maximum number of modifying metadata RPCs (create, unlink, rename, setattr) in flight to the MDS; it must stay below mdc.max_rpcs_in_flight.",
+			Impact: "File-creation and deletion throughput scales with this window until MDS " +
+				"service threads or directory locking saturate.",
+		},
+		{
+			Name: "ldlm.lru_size", Path: "/proc/fs/lustre/ldlm/lru_size",
+			Writable: true, Kind: KindInt, Default: 0, Min: 0, Max: 65536,
+			Unit: "locks", Doc: DocFull, PerfCritical: true,
+			Definition: "The number of client-side DLM locks kept in the least-recently-used cache per namespace; 0 enables automatic sizing.",
+			Impact: "A lock cache large enough to cover the working set of files avoids re-acquiring " +
+				"locks from the servers on revisit, reducing metadata round trips for workloads " +
+				"that touch the same files repeatedly. Its primary cost is client memory.",
+		},
+
+		// ------------------------------------------------------------------
+		// Binary parameters: writable and performance-relevant, but excluded
+		// from tuning as user trade-offs (§4.2.2).
+		// ------------------------------------------------------------------
+		{
+			Name: "osc.checksums", Path: "/proc/fs/lustre/osc/checksums",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocFull, PerfCritical: false,
+			Definition: "Enables or disables checksums on bulk data RPCs between the client and OSTs.",
+			Impact: "Disabling checksums removes per-byte CPU cost and can raise throughput, at the " +
+				"price of losing detection of network data corruption. This is a data-integrity " +
+				"trade-off for the administrator, not a tuning decision.",
+		},
+		{
+			Name: "llite.checksums", Path: "/proc/fs/lustre/llite/checksums",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocFull, PerfCritical: false,
+			Definition: "Enables or disables data checksumming at the llite layer.",
+			Impact: "As with osc.checksums, this trades data-integrity protection for CPU time and " +
+				"should be set by policy rather than tuned for performance.",
+		},
+		{
+			Name: "llite.fast_read", Path: "/proc/fs/lustre/llite/fast_read",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocFull, PerfCritical: false,
+			Definition: "Enables lockless read from client page cache when pages are already up to date.",
+			Impact:     "On by default; disabling is a debugging aid rather than a tuning opportunity.",
+		},
+		{
+			Name: "osc.grant_shrink", Path: "/proc/fs/lustre/osc/grant_shrink",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocThin, PerfCritical: false,
+			Definition: "Enables shrinking of unused grant space on idle OSCs.",
+			Impact:     "",
+		},
+
+		// ------------------------------------------------------------------
+		// Writable, documented, but not performance-critical: the importance
+		// filter should reject these based on their descriptions.
+		// ------------------------------------------------------------------
+		{
+			Name: "ost.nrs_delay_min", Path: "/proc/fs/lustre/ost/nrs_delay_min",
+			Writable: true, Kind: KindInt, Default: 5, Min: 0, Max: 3600,
+			Unit: "seconds", Doc: DocFull, PerfCritical: false,
+			Definition: "The minimum artificial delay, in seconds, applied by the NRS delay policy to simulate high server load.",
+			Impact: "The delay policy exists to hold back requests for testing and fault " +
+				"simulation; it is a debugging facility and does not improve I/O behaviour.",
+		},
+		{
+			Name: "ost.nrs_delay_max", Path: "/proc/fs/lustre/ost/nrs_delay_max",
+			Writable: true, Kind: KindInt, Default: 300, Min: 0, Max: 3600,
+			Unit: "seconds", Doc: DocFull, PerfCritical: false,
+			Definition: "The maximum artificial delay, in seconds, applied by the NRS delay policy to simulate high server load.",
+			Impact:     "Used together with nrs_delay_min for load simulation and testing only.",
+		},
+		{
+			Name: "ost.nrs_delay_pct", Path: "/proc/fs/lustre/ost/nrs_delay_pct",
+			Writable: true, Kind: KindInt, Default: 100, Min: 0, Max: 100,
+			Unit: "percent", Doc: DocFull, PerfCritical: false,
+			Definition: "The percentage of requests the NRS delay policy holds back when simulating server load.",
+			Impact:     "A testing and fault-injection control; not a performance tuning parameter.",
+		},
+		{
+			Name: "llite.statfs_max_age", Path: "/proc/fs/lustre/llite/statfs_max_age",
+			Writable: true, Kind: KindInt, Default: 1, Min: 0, Max: 60,
+			Unit: "seconds", Doc: DocFull, PerfCritical: false,
+			Definition: "The maximum age, in seconds, of cached statfs results returned to df and similar queries.",
+			Impact: "Affects only the freshness of free-space reporting; it has no effect on data or " +
+				"metadata I/O paths.",
+		},
+		{
+			Name: "ldlm.lru_max_age", Path: "/proc/fs/lustre/ldlm/lru_max_age",
+			Writable: true, Kind: KindInt, Default: 3900000, Min: 1, Max: 86400000,
+			Unit: "milliseconds", Doc: DocFull, PerfCritical: false,
+			Definition: "The maximum age, in milliseconds, an unused DLM lock may remain in the LRU cache before cancellation.",
+			Impact: "Primarily bounds client memory held by idle locks; it is a housekeeping " +
+				"setting with negligible effect on the I/O path.",
+		},
+		{
+			Name: "llite.xattr_cache", Path: "/proc/fs/lustre/llite/xattr_cache",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocThin, PerfCritical: false,
+			Definition: "Enables client-side caching of extended attributes.",
+			Impact:     "",
+		},
+
+		// ------------------------------------------------------------------
+		// Writable but effectively undocumented (DocThin/DocNone): the
+		// sufficiency judge should filter these out.
+		// ------------------------------------------------------------------
+		{
+			Name: "osc.idle_timeout", Path: "/proc/fs/lustre/osc/idle_timeout",
+			Writable: true, Kind: KindInt, Default: 20, Min: 0, Max: 3600,
+			Unit: "seconds", Doc: DocThin, PerfCritical: false,
+			Definition: "Seconds before an idle OSC connection is disconnected.",
+		},
+		{
+			Name: "osc.resend_count", Path: "/proc/fs/lustre/osc/resend_count",
+			Writable: true, Kind: KindInt, Default: 10, Min: 0, Max: 100,
+			Unit: "attempts", Doc: DocThin, PerfCritical: false,
+			Definition: "Number of times a failed bulk RPC is resent before an error is returned.",
+		},
+		{
+			Name: "mdc.ping_interval", Path: "/proc/fs/lustre/mdc/ping_interval",
+			Writable: true, Kind: KindInt, Default: 25, Min: 1, Max: 600,
+			Unit: "seconds", Doc: DocNone, PerfCritical: false,
+			Definition: "Interval between keepalive pings to the MDS.",
+		},
+		{
+			Name: "llite.lazystatfs", Path: "/proc/fs/lustre/llite/lazystatfs",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocNone, PerfCritical: false,
+			Definition: "Allow statfs to skip unreachable OSTs.",
+		},
+		{
+			Name: "ldlm.ns_connect_flags", Path: "/proc/fs/lustre/ldlm/ns_connect_flags",
+			Writable: true, Kind: KindInt, Default: 0, Min: 0, Max: 1 << 30,
+			Doc: DocNone, PerfCritical: false,
+			Definition: "Namespace connection flag bits.",
+		},
+		{
+			Name: "osc.active", Path: "/proc/fs/lustre/osc/active",
+			Writable: true, Binary: true, Kind: KindBool, Default: 1, Min: 0, Max: 1,
+			Doc: DocThin, PerfCritical: false,
+			Definition: "Marks the OSC import active or inactive.",
+		},
+		{
+			Name: "llite.default_easize", Path: "/proc/fs/lustre/llite/default_easize",
+			Writable: true, Kind: KindInt, Default: 128, Min: 0, Max: 4096,
+			Unit: "bytes", Doc: DocThin, PerfCritical: false,
+			Definition: "Default extended-attribute buffer size used for layout retrieval.",
+		},
+
+		// ------------------------------------------------------------------
+		// Read-only: the rough writability pre-filter removes these before
+		// any LLM involvement.
+		// ------------------------------------------------------------------
+		{
+			Name: "llite.kbytestotal", Path: "/proc/fs/lustre/llite/kbytestotal",
+			Kind: KindInt, Doc: DocNone, Definition: "Total file system capacity in KiB.",
+		},
+		{
+			Name: "llite.kbytesavail", Path: "/proc/fs/lustre/llite/kbytesavail",
+			Kind: KindInt, Doc: DocNone, Definition: "Available file system capacity in KiB.",
+		},
+		{
+			Name: "llite.filestotal", Path: "/proc/fs/lustre/llite/filestotal",
+			Kind: KindInt, Doc: DocNone, Definition: "Total inode count.",
+		},
+		{
+			Name: "llite.uuid", Path: "/proc/fs/lustre/llite/uuid",
+			Kind: KindInt, Doc: DocNone, Definition: "Client UUID.",
+		},
+		{
+			Name: "osc.ost_conn_uuid", Path: "/proc/fs/lustre/osc/ost_conn_uuid",
+			Kind: KindInt, Doc: DocNone, Definition: "UUID of the OST connection.",
+		},
+		{
+			Name: "osc.blocksize", Path: "/proc/fs/lustre/osc/blocksize",
+			Kind: KindInt, Doc: DocNone, Definition: "Backing file system block size.",
+		},
+		{
+			Name: "mgs.mount_block_size", Path: "/proc/fs/lustre/mgs/mount_block_size",
+			Kind: KindBytes, Doc: DocThin,
+			Definition: "Block size chosen at format time; fixed before the file system is mounted.",
+		},
+		{
+			Name: "mgs.mount_point", Path: "/proc/fs/lustre/mgs/mount_point",
+			Kind: KindInt, Doc: DocThin,
+			Definition: "The mount point of the file system; fixed at mount time.",
+		},
+		{
+			Name: "version", Path: "/proc/fs/lustre/version",
+			Kind: KindInt, Doc: DocNone, Definition: "Lustre software version string.",
+		},
+	}
+
+	reg, err := NewRegistry(list)
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}
+
+// TunableNames returns the ground-truth set of names expected to survive
+// the extraction pipeline (the "13 parameters" for Lustre).
+func TunableNames(reg *Registry) []string {
+	var out []string
+	for _, p := range reg.All() {
+		if p.Writable && !p.Binary && p.PerfCritical && p.Doc == DocFull {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// SystemEnv builds the expression environment of system facts used to
+// evaluate dependent bounds: memory_mb and ost_count plus the current
+// values of every writable parameter in cfg.
+func SystemEnv(memoryMB, ostCount int64, cfg Config) Env {
+	env := Env{"memory_mb": memoryMB, "ost_count": ostCount}
+	for k, v := range cfg {
+		env[k] = v
+	}
+	return env
+}

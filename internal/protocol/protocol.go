@@ -1,0 +1,213 @@
+// Package protocol defines the prompt wire format STELLAR's components
+// exchange through the llm.Client interface: system-role markers, named
+// prompt sections, and the JSON payload shapes. Keeping it in one place
+// lets any backend — the offline expert-policy models or a real LLM
+// endpoint prompted the same way — interoperate with the agents.
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// System-prompt role markers. A backend dispatches on the marker found at
+// the start of Request.System.
+const (
+	SysExtractJudge = "You are the RAG extraction judge for parallel file system manuals."
+	SysImportance   = "You are the parameter importance assessor for parallel file system tuning."
+	SysAnalysis     = "You are the Analysis Agent of STELLAR, a code-executing I/O analysis assistant."
+	SysTuning       = "You are the Tuning Agent of STELLAR, driving iterative parallel file system tuning."
+	SysReflect      = "You are the Tuning Agent of STELLAR in its Reflect & Summarize phase."
+	SysParamQA      = "You are a storage systems expert answering parameter questions from memory."
+)
+
+// Named prompt sections.
+const (
+	SecParam    = "PARAMETER"
+	SecChunks   = "RETRIEVED MANUAL CHUNKS"
+	SecParams   = "PFS TUNABLE PARAMETERS (JSON)"
+	SecCluster  = "CLUSTER"
+	SecIOReport = "IO REPORT"
+	SecRules    = "GLOBAL RULE SET (JSON)"
+	SecHistory  = "TUNING HISTORY"
+	SecQuestion = "QUESTION"
+	SecFrames   = "DARSHAN DATAFRAMES"
+	SecHeader   = "DARSHAN HEADER"
+	SecBest     = "BEST CONFIGURATION (JSON)"
+	SecFeatures = "WORKLOAD FEATURES (JSON)"
+)
+
+// Section renders a named prompt section.
+func Section(name, body string) string {
+	return "### " + name + "\n" + strings.TrimRight(body, "\n") + "\n\n"
+}
+
+// ExtractSection pulls a named section's body out of a prompt.
+func ExtractSection(text, name string) (string, bool) {
+	marker := "### " + name + "\n"
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := text[i+len(marker):]
+	if j := strings.Index(rest, "\n### "); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Tool names used by the agents.
+const (
+	ToolAnalysis    = "analysis_request"  // Tuning Agent -> Analysis Agent question
+	ToolRunConfig   = "run_configuration" // generate config and rerun the application
+	ToolEndTuning   = "end_tuning"        // conclude the trial-and-error loop
+	ToolExecProgram = "execute_program"   // Analysis Agent code execution
+)
+
+// ExtractJudgment is the extraction judge's verdict for one parameter.
+type ExtractJudgment struct {
+	Sufficient bool   `json:"sufficient"`
+	Definition string `json:"definition,omitempty"`
+	Impact     string `json:"impact,omitempty"`
+	Min        string `json:"min,omitempty"` // literal or range expression
+	Max        string `json:"max,omitempty"`
+	Default    int64  `json:"default,omitempty"`
+	Binary     bool   `json:"binary,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// ImportanceJudgment is the importance assessor's verdict.
+type ImportanceJudgment struct {
+	Significant bool   `json:"significant"`
+	Reasoning   string `json:"reasoning"`
+}
+
+// TunableParam is the extracted-parameter record handed to the Tuning
+// Agent (the offline phase's output).
+type TunableParam struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Impact      string `json:"impact"`
+	Min         string `json:"min"`
+	Max         string `json:"max"`
+	Default     int64  `json:"default"`
+	Unit        string `json:"unit,omitempty"`
+}
+
+// Features is the structured workload characterisation the Analysis Agent
+// embeds in its I/O report.
+type Features struct {
+	Dominant     string  `json:"dominant"` // "metadata" | "read" | "write" | "mixed"
+	AvgReadKB    float64 `json:"avg_read_kb"`
+	AvgWriteKB   float64 `json:"avg_write_kb"`
+	SeqReadFrac  float64 `json:"seq_read_frac"`
+	SeqWriteFrac float64 `json:"seq_write_frac"`
+	FileCount    int     `json:"file_count"`
+	AvgFileKB    float64 `json:"avg_file_kb"`
+	SharedFiles  bool    `json:"shared_files"`
+	MetaRatio    float64 `json:"meta_ratio"`
+	ReadFrac     float64 `json:"read_frac"` // read bytes / total bytes
+	MultiPhase   bool    `json:"multi_phase"`
+}
+
+// Class maps features to the workload-context class used by rule contexts.
+func (f Features) Class() string {
+	switch {
+	case f.MultiPhase:
+		return "mixed"
+	case f.MetaRatio > 0.4:
+		return "metadata-intensive"
+	case f.AvgWriteKB >= 1024 || f.AvgReadKB >= 1024,
+		f.AvgWriteKB >= 384 && f.SeqWriteFrac > 0.6,
+		f.AvgReadKB >= 384 && f.SeqReadFrac > 0.6:
+		// Transfers this large behave sequentially even when offsets jump;
+		// the bandwidth path, not the seek path, dominates.
+		return "large-sequential"
+	case (f.AvgWriteKB > 0 && f.AvgWriteKB < 256 && f.SeqWriteFrac < 0.4) ||
+		(f.AvgReadKB > 0 && f.AvgReadKB < 256 && f.SeqReadFrac < 0.4):
+		return "small-random"
+	}
+	return "general"
+}
+
+// ContextSentence renders the formulaic tuning-context sentence reflection
+// writes into rules; rules.ContextClass can recover the class from it.
+func (f Features) ContextSentence() string {
+	switch f.Class() {
+	case "metadata-intensive":
+		return fmt.Sprintf("Workloads that are metadata-intensive: many small files "+
+			"(avg %.0f KiB) with a high ratio of metadata to data operations (%.2f).",
+			f.AvgFileKB, f.MetaRatio)
+	case "large-sequential":
+		return fmt.Sprintf("Workloads dominated by large sequential transfers "+
+			"(avg access %.0f KiB, sequential fraction > 0.6), often to shared files.",
+			maxf(f.AvgReadKB, f.AvgWriteKB))
+	case "small-random":
+		return fmt.Sprintf("Workloads issuing small random accesses "+
+			"(avg access %.0f KiB, low sequentiality) to shared files.",
+			maxf(f.AvgReadKB, f.AvgWriteKB))
+	case "mixed":
+		return "Workloads with mixed multi-phase behaviour combining bulk I/O and metadata phases."
+	}
+	return "General workloads without a dominant I/O pattern."
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HistoryEntry records one tuning iteration for the history section.
+type HistoryEntry struct {
+	Iteration int               `json:"iteration"`
+	Config    map[string]int64  `json:"config"`
+	WallTime  float64           `json:"wall_time_s"`
+	Rationale map[string]string `json:"rationale,omitempty"`
+	Clamped   []string          `json:"clamped,omitempty"`
+}
+
+// MarshalJSONValue marshals v, panicking on failure (all protocol types
+// are statically marshalable).
+func MarshalJSONValue(v any) string {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// FindJSONBlock extracts the first top-level JSON object or array embedded
+// in free text.
+func FindJSONBlock(text string) (string, bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] != '{' && text[i] != '[' {
+			continue
+		}
+		depth := 0
+		inStr := false
+		for j := i; j < len(text); j++ {
+			c := text[j]
+			switch {
+			case inStr:
+				if c == '\\' {
+					j++
+				} else if c == '"' {
+					inStr = false
+				}
+			case c == '"':
+				inStr = true
+			case c == '{' || c == '[':
+				depth++
+			case c == '}' || c == ']':
+				depth--
+				if depth == 0 {
+					return text[i : j+1], true
+				}
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSectionRoundTrip(t *testing.T) {
+	text := Section(SecParam, "osc.max_rpcs_in_flight") +
+		Section(SecChunks, "chunk one\nchunk two") +
+		Section("INSTRUCTIONS", "do things")
+	got, ok := ExtractSection(text, SecParam)
+	if !ok || got != "osc.max_rpcs_in_flight" {
+		t.Fatalf("param section = %q ok=%v", got, ok)
+	}
+	got, ok = ExtractSection(text, SecChunks)
+	if !ok || got != "chunk one\nchunk two" {
+		t.Fatalf("chunks section = %q", got)
+	}
+	if _, ok := ExtractSection(text, "MISSING"); ok {
+		t.Fatal("missing section reported present")
+	}
+}
+
+func TestFindJSONBlock(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`prefix {"a": 1} suffix`, `{"a": 1}`},
+		{`text [1,2,{"b":2}] more`, `[1,2,{"b":2}]`},
+		{`{"s": "with } brace"}`, `{"s": "with } brace"}`},
+		{`{"s": "escaped \" quote}"} end`, `{"s": "escaped \" quote}"}`},
+	}
+	for _, c := range cases {
+		got, ok := FindJSONBlock(c.in)
+		if !ok || got != c.want {
+			t.Errorf("FindJSONBlock(%q) = %q ok=%v", c.in, got, ok)
+		}
+	}
+	if _, ok := FindJSONBlock("no json here"); ok {
+		t.Fatal("found JSON in plain text")
+	}
+}
+
+func TestFeaturesClass(t *testing.T) {
+	cases := []struct {
+		f    Features
+		want string
+	}{
+		{Features{MetaRatio: 0.6, AvgFileKB: 8}, "metadata-intensive"},
+		{Features{AvgWriteKB: 16384, SeqWriteFrac: 0.5}, "large-sequential"},
+		{Features{AvgWriteKB: 512, SeqWriteFrac: 0.9}, "large-sequential"},
+		{Features{AvgWriteKB: 64, SeqWriteFrac: 0.1, AvgReadKB: 64}, "small-random"},
+		{Features{MultiPhase: true, MetaRatio: 0.5}, "mixed"},
+		{Features{AvgWriteKB: 300, SeqWriteFrac: 0.5}, "general"},
+	}
+	for _, c := range cases {
+		if got := c.f.Class(); got != c.want {
+			t.Errorf("Class(%+v) = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestContextSentenceClassRecoverable(t *testing.T) {
+	// The formulaic context sentence must round-trip through
+	// rules.ContextClass; spot-check the class phrases appear.
+	for _, f := range []Features{
+		{MetaRatio: 0.6, AvgFileKB: 8},
+		{AvgWriteKB: 16384, SeqWriteFrac: 0.9},
+		{AvgWriteKB: 64, SeqWriteFrac: 0.1},
+		{MultiPhase: true},
+	} {
+		s := f.ContextSentence()
+		switch f.Class() {
+		case "metadata-intensive":
+			if !strings.Contains(s, "metadata-intensive") {
+				t.Errorf("sentence %q lacks class phrase", s)
+			}
+		case "large-sequential":
+			if !strings.Contains(s, "large sequential") {
+				t.Errorf("sentence %q lacks class phrase", s)
+			}
+		case "small-random":
+			if !strings.Contains(s, "small random") {
+				t.Errorf("sentence %q lacks class phrase", s)
+			}
+		case "mixed":
+			if !strings.Contains(s, "mixed multi-phase") {
+				t.Errorf("sentence %q lacks class phrase", s)
+			}
+		}
+	}
+}
+
+func TestMarshalJSONValue(t *testing.T) {
+	out := MarshalJSONValue(map[string]int{"a": 1})
+	if !strings.Contains(out, `"a": 1`) {
+		t.Fatalf("marshal = %q", out)
+	}
+}

@@ -1,0 +1,175 @@
+package rag
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"stellar/internal/llm"
+	"stellar/internal/procfs"
+	"stellar/internal/protocol"
+)
+
+// ExtractorReport summarises how the multistep filter narrowed the
+// parameter set, matching the paper's pipeline stages.
+type ExtractorReport struct {
+	TotalParams       int
+	Writable          int
+	Insufficient      []string // filtered: documentation too thin
+	Binary            []string // filtered: user trade-off switches
+	NotSignificant    []string // filtered: documented but low impact
+	Selected          []string
+	ImportanceReasons map[string]string
+}
+
+// Extractor runs the offline RAG-based parameter extraction (§4.2.2).
+type Extractor struct {
+	Index  *Index
+	Client llm.Client
+	Model  string
+	TopK   int // retrieved chunks per query (paper default 20)
+}
+
+// Query is the retrieval question template the paper uses.
+func Query(param string) string {
+	return fmt.Sprintf("How do I use the parameter %s?", param)
+}
+
+// ExtractAll walks the writable parameters of the procfs tree, retrieves
+// manual context for each, and asks the judge model for a definition,
+// impact statement, and valid range; then asks the importance assessor to
+// keep only high-impact parameters. Binary parameters are excluded as user
+// trade-offs.
+func (e *Extractor) ExtractAll(tree *procfs.Tree) ([]*protocol.TunableParam, *ExtractorReport, error) {
+	topK := e.TopK
+	if topK <= 0 {
+		topK = 20
+	}
+	rep := &ExtractorReport{ImportanceReasons: map[string]string{}}
+	rep.TotalParams = len(tree.List())
+	names := tree.WritableNames()
+	rep.Writable = len(names)
+
+	var out []*protocol.TunableParam
+	for _, name := range names {
+		j, err := e.judge(name, topK)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rag: judging %s: %w", name, err)
+		}
+		if !j.Sufficient {
+			rep.Insufficient = append(rep.Insufficient, name)
+			continue
+		}
+		if j.Binary {
+			rep.Binary = append(rep.Binary, name)
+			continue
+		}
+		imp, err := e.important(name, j)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rag: importance of %s: %w", name, err)
+		}
+		rep.ImportanceReasons[name] = imp.Reasoning
+		if !imp.Significant {
+			rep.NotSignificant = append(rep.NotSignificant, name)
+			continue
+		}
+		cur, err := tree.Read(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		def := j.Default
+		if def == 0 {
+			if v, perr := parseInt(cur); perr == nil {
+				def = v
+			}
+		}
+		out = append(out, &protocol.TunableParam{
+			Name:        name,
+			Description: j.Definition,
+			Impact:      j.Impact,
+			Min:         j.Min,
+			Max:         j.Max,
+			Default:     def,
+		})
+		rep.Selected = append(rep.Selected, name)
+	}
+	return out, rep, nil
+}
+
+// judge retrieves manual context for one parameter and asks the extraction
+// judge whether the documentation suffices, and if so for the details.
+func (e *Extractor) judge(name string, topK int) (*protocol.ExtractJudgment, error) {
+	hits := e.Index.Search(Query(name), topK)
+	var chunks strings.Builder
+	for i, h := range hits {
+		fmt.Fprintf(&chunks, "[chunk %d, score %.3f]\n%s\n\n", i+1, h.Score, h.Chunk.Text)
+	}
+	req := &llm.Request{
+		Model:  e.Model,
+		System: protocol.SysExtractJudge,
+		Messages: []llm.Message{{
+			Role: llm.RoleUser,
+			Content: protocol.Section(protocol.SecParam, name) +
+				protocol.Section(protocol.SecChunks, chunks.String()) +
+				"Based only on the retrieved chunks, decide whether the documentation is " +
+				"sufficient to define this parameter's purpose and valid range. If sufficient, " +
+				"reply with JSON {sufficient, definition, impact, min, max, default, binary}; " +
+				"min/max may be arithmetic expressions over other parameters or system facts. " +
+				"If not, reply {\"sufficient\": false, \"reason\": ...}.",
+		}},
+	}
+	resp, err := e.chat(req, "rag-judge")
+	if err != nil {
+		return nil, err
+	}
+	block, ok := protocol.FindJSONBlock(resp.Message.Content)
+	if !ok {
+		return nil, fmt.Errorf("judge returned no JSON: %q", resp.Message.Content)
+	}
+	var j protocol.ExtractJudgment
+	if err := json.Unmarshal([]byte(block), &j); err != nil {
+		return nil, fmt.Errorf("judge JSON invalid: %w", err)
+	}
+	return &j, nil
+}
+
+func (e *Extractor) important(name string, j *protocol.ExtractJudgment) (*protocol.ImportanceJudgment, error) {
+	req := &llm.Request{
+		Model:  e.Model,
+		System: protocol.SysImportance,
+		Messages: []llm.Message{{
+			Role: llm.RoleUser,
+			Content: protocol.Section(protocol.SecParam, name) +
+				"Definition: " + j.Definition + "\nImpact: " + j.Impact + "\n\n" +
+				"Decide, with documented reasoning, whether this parameter is likely to have " +
+				"a significant impact on I/O performance. Reply with JSON " +
+				"{significant, reasoning}.",
+		}},
+	}
+	resp, err := e.chat(req, "rag-importance")
+	if err != nil {
+		return nil, err
+	}
+	block, ok := protocol.FindJSONBlock(resp.Message.Content)
+	if !ok {
+		return nil, fmt.Errorf("importance assessor returned no JSON: %q", resp.Message.Content)
+	}
+	var imp protocol.ImportanceJudgment
+	if err := json.Unmarshal([]byte(block), &imp); err != nil {
+		return nil, fmt.Errorf("importance JSON invalid: %w", err)
+	}
+	return &imp, nil
+}
+
+func (e *Extractor) chat(req *llm.Request, session string) (*llm.Response, error) {
+	if m, ok := e.Client.(*llm.Meter); ok {
+		return m.ChatSession(session, req)
+	}
+	return e.Client.Chat(req)
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	_, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v)
+	return v, err
+}

@@ -1,0 +1,161 @@
+package rag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stellar/internal/llm"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/manual"
+	"stellar/internal/params"
+	"stellar/internal/procfs"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The osc.max_rpcs_in_flight parameter, set via lctl!")
+	want := []string{"the", "osc.max_rpcs_in_flight", "parameter", "set", "via", "lctl"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v", toks)
+		}
+	}
+}
+
+func TestChunkTextOverlap(t *testing.T) {
+	words := strings.Repeat("alpha beta gamma delta ", 600) // 2400 words
+	chunks := ChunkText(words, 1024, 20)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	// Consecutive chunks share the overlap region.
+	tail := strings.Fields(chunks[0].Text)
+	head := strings.Fields(chunks[1].Text)
+	for i := 0; i < 20; i++ {
+		if tail[len(tail)-20+i] != head[i] {
+			t.Fatal("overlap words do not match")
+		}
+	}
+}
+
+func TestChunkTextSmallInput(t *testing.T) {
+	chunks := ChunkText("just a few words", 1024, 20)
+	if len(chunks) != 1 || chunks[0].Text != "just a few words" {
+		t.Fatalf("chunks = %+v", chunks)
+	}
+}
+
+func TestEmbedderNormalised(t *testing.T) {
+	emb := NewHashedTFIDF(128, []Chunk{{Text: "stripe count bandwidth"}, {Text: "metadata stat"}})
+	v := emb.Embed("stripe bandwidth tuning")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm < 0.999 || norm > 1.001 {
+		t.Fatalf("norm = %g", norm)
+	}
+	if emb.Dim() != 128 || len(v) != 128 {
+		t.Fatal("dimension mismatch")
+	}
+}
+
+// Property: a chunk is always most similar to itself.
+func TestSelfSimilarityProperty(t *testing.T) {
+	reg := params.Lustre()
+	chunks := ChunkText(manual.FullText(reg), 256, 10)
+	emb := NewHashedTFIDF(384, chunks)
+	ix := NewIndex(emb, chunks)
+	f := func(pick uint8) bool {
+		c := chunks[int(pick)%len(chunks)]
+		hits := ix.Search(c.Text, 1)
+		return len(hits) == 1 && hits[0].Chunk.ID == c.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetrievalFindsParameterSections(t *testing.T) {
+	reg := params.Lustre()
+	chunks := ChunkText(manual.FullText(reg), 1024, 20)
+	emb := NewHashedTFIDF(384, chunks)
+	ix := NewIndex(emb, chunks)
+	for _, name := range params.TunableNames(reg) {
+		hits := ix.Search(Query(name), 20)
+		found := false
+		for _, h := range hits {
+			if strings.Contains(h.Chunk.Text, "Parameter "+name+".") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("top-20 retrieval missed the section for %s", name)
+		}
+	}
+}
+
+func TestExtractAllPipeline(t *testing.T) {
+	reg := params.Lustre()
+	chunks := ChunkText(manual.FullText(reg), 1024, 20)
+	ix := NewIndex(NewHashedTFIDF(384, chunks), chunks)
+	ex := &Extractor{Index: ix, Client: simllm.New(simllm.GPT4o), Model: simllm.GPT4o, TopK: 20}
+	tree := procfs.New(reg)
+	tunables, rep, err := ex.ExtractAll(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := params.TunableNames(reg)
+	if len(tunables) != len(want) {
+		t.Fatalf("selected %d parameters, want %d: %v", len(tunables), len(want), rep.Selected)
+	}
+	byName := map[string]bool{}
+	for _, p := range tunables {
+		byName[p.Name] = true
+		if p.Description == "" || p.Max == "" {
+			t.Errorf("%s extracted without description or range", p.Name)
+		}
+	}
+	for _, n := range want {
+		if !byName[n] {
+			t.Errorf("ground-truth tunable %s not selected", n)
+		}
+	}
+	// Dependent range expressions must survive extraction verbatim enough
+	// to evaluate.
+	for _, p := range tunables {
+		if p.Name == "llite.max_read_ahead_per_file_mb" {
+			if _, err := params.EvalBound(p.Max, params.Env{"llite.max_read_ahead_mb": 64}); err != nil {
+				t.Errorf("extracted dependent bound %q not evaluable: %v", p.Max, err)
+			}
+		}
+	}
+	// Binary parameters must be excluded with the right reason.
+	foundChecksum := false
+	for _, b := range rep.Binary {
+		if b == "osc.checksums" {
+			foundChecksum = true
+		}
+	}
+	if !foundChecksum {
+		t.Error("osc.checksums not excluded as binary")
+	}
+}
+
+func TestExtractionUsesMeterSessions(t *testing.T) {
+	reg := params.Lustre()
+	chunks := ChunkText(manual.FullText(reg), 1024, 20)
+	ix := NewIndex(NewHashedTFIDF(384, chunks), chunks)
+	meter := llm.NewMeter(simllm.New(simllm.GPT4o))
+	ex := &Extractor{Index: ix, Client: meter, Model: simllm.GPT4o, TopK: 20}
+	if _, _, err := ex.ExtractAll(procfs.New(reg)); err != nil {
+		t.Fatal(err)
+	}
+	if meter.SessionRequests("rag-judge") == 0 || meter.SessionUsage("rag-judge").InputTokens == 0 {
+		t.Fatal("judge session not metered")
+	}
+}

@@ -1,0 +1,145 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func mk(param, desc, ctx string) Rule {
+	return Rule{Parameter: param, RuleDescription: desc, TuningContext: ctx}
+}
+
+const metaCtx = "Workloads that are metadata-intensive: many small files."
+const seqCtx = "Workloads dominated by large sequential transfers."
+
+func TestParseForms(t *testing.T) {
+	fromArray, err := Parse(`[{"Parameter":"a","Rule Description":"Increase a to around 5","Tuning Context":"x"}]`)
+	if err != nil || fromArray.Len() != 1 {
+		t.Fatalf("array form: %v len=%d", err, fromArray.Len())
+	}
+	fromWrapped, err := Parse(`{"rules":[{"Parameter":"a","Rule Description":"d","Tuning Context":"c"}]}`)
+	if err != nil || fromWrapped.Len() != 1 {
+		t.Fatalf("wrapped form: %v", err)
+	}
+	empty, err := Parse("")
+	if err != nil || !empty.Empty() {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Parse("{nope"); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := &Set{Rules: []Rule{mk("p1", "Increase p1 to around 64", metaCtx)}}
+	again, err := Parse(s.JSON())
+	if err != nil || again.Len() != 1 || again.Rules[0].Parameter != "p1" {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// The canonical keys of §4.4.1 must appear verbatim.
+	for _, key := range []string{`"Parameter"`, `"Rule Description"`, `"Tuning Context"`} {
+		if !strings.Contains(s.JSON(), key) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+}
+
+func TestContextClass(t *testing.T) {
+	cases := map[string]string{
+		metaCtx: "metadata-intensive",
+		seqCtx:  "large-sequential",
+		"Workloads issuing small random accesses.":    "small-random",
+		"Workloads with mixed multi-phase behaviour.": "mixed",
+		"anything else": "general",
+	}
+	for ctx, want := range cases {
+		if got := ContextClass(ctx); got != want {
+			t.Errorf("ContextClass(%q) = %q, want %q", ctx, got, want)
+		}
+	}
+}
+
+func TestDirection(t *testing.T) {
+	cases := map[string]string{
+		"Increase mdc.max_rpcs_in_flight to around 64": "increase",
+		"Decrease lov.stripe_count to around 1":        "decrease",
+		"Disable readahead for random workloads":       "decrease",
+		"Set the stripe size relative to file size":    "set",
+		"no guidance here":                             "",
+	}
+	for desc, want := range cases {
+		if got := Direction(desc); got != want {
+			t.Errorf("Direction(%q) = %q, want %q", desc, got, want)
+		}
+	}
+}
+
+func TestMergeAddsAndDedups(t *testing.T) {
+	s := &Set{}
+	r1 := mk("p", "Increase p to around 64", metaCtx)
+	rep := s.Merge([]Rule{r1})
+	if len(rep.Added) != 1 || s.Len() != 1 {
+		t.Fatalf("add failed: %+v", rep)
+	}
+	rep = s.Merge([]Rule{r1})
+	if len(rep.Deduplicated) != 1 || s.Len() != 1 {
+		t.Fatalf("dedup failed: %+v len=%d", rep, s.Len())
+	}
+}
+
+func TestMergeContradictionRemovesBoth(t *testing.T) {
+	s := &Set{}
+	s.Merge([]Rule{mk("p", "Increase p to around 64", metaCtx)})
+	rep := s.Merge([]Rule{mk("p", "Decrease p to around 2", metaCtx)})
+	if len(rep.Contradicted) != 1 {
+		t.Fatalf("contradiction not detected: %+v", rep)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("both contradictory rules should be dropped; have %d", s.Len())
+	}
+}
+
+func TestMergeKeepsAlternatives(t *testing.T) {
+	s := &Set{}
+	s.Merge([]Rule{mk("p", "Increase p to around 64", metaCtx)})
+	rep := s.Merge([]Rule{mk("p", "Increase p to around 128", metaCtx)})
+	if len(rep.Alternatives) != 1 || s.Len() != 2 {
+		t.Fatalf("alternatives not kept: %+v len=%d", rep, s.Len())
+	}
+}
+
+func TestMergeDifferentContextsIndependent(t *testing.T) {
+	s := &Set{}
+	s.Merge([]Rule{mk("p", "Increase p to around 64", metaCtx)})
+	s.Merge([]Rule{mk("p", "Decrease p to around 1", seqCtx)})
+	if s.Len() != 2 {
+		t.Fatalf("rules in different contexts must coexist; have %d", s.Len())
+	}
+}
+
+func TestPruneDropsFalsifiedAlternatives(t *testing.T) {
+	s := &Set{}
+	s.Merge([]Rule{mk("p", "Increase p to around 64", metaCtx)})
+	s.Merge([]Rule{mk("q", "Decrease q to around 1", metaCtx)})
+	removed := s.Prune("metadata-intensive", "q", "increase")
+	if removed != 1 || s.Len() != 1 {
+		t.Fatalf("prune removed %d, len %d", removed, s.Len())
+	}
+	// Matching direction survives.
+	removed = s.Prune("metadata-intensive", "p", "increase")
+	if removed != 0 || s.Len() != 1 {
+		t.Fatalf("prune over-removed: %d", removed)
+	}
+}
+
+func TestForContext(t *testing.T) {
+	s := &Set{}
+	s.Merge([]Rule{
+		mk("a", "Increase a to around 2", metaCtx),
+		mk("b", "Increase b to around 3", seqCtx),
+	})
+	got := s.ForContext("metadata-intensive")
+	if len(got) != 1 || got[0].Parameter != "a" {
+		t.Fatalf("ForContext = %+v", got)
+	}
+}

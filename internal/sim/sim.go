@@ -1,0 +1,327 @@
+// Package sim provides a small discrete-event simulation kernel used by the
+// Lustre parallel file system model. Time is a float64 number of seconds.
+//
+// The kernel is deliberately continuation-based rather than
+// process-oriented: model code schedules closures at future instants and
+// chains multi-stage operations (client window -> NIC -> server disk) by
+// passing completion callbacks through Resource.Acquire. This keeps a full
+// tuning run (hundreds of thousands of events) in the low milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled closure. Events with equal times fire in scheduling
+// order (stable), which keeps runs deterministic.
+type event struct {
+	at   float64
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop aborts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called, and returns
+// the final clock value.
+func (e *Engine) Run() float64 {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+	}
+	return e.now
+}
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Resource models a station with a fixed number of parallel servers and a
+// FIFO queue, e.g. an OST with N service threads or an RPC-window slot pool.
+// Acquire hands the caller a slot as soon as one frees; the caller later
+// Releases it. Service time is chosen by the caller, which keeps the
+// resource mechanism independent of the cost model.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	queue    []func()
+
+	// Statistics.
+	totalWait   float64
+	acquires    uint64
+	queuedPeak  int
+	busyTime    float64
+	lastChange  float64
+	utilSamples float64
+}
+
+// NewResource creates a resource with the given number of parallel servers.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1: " + name)
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of parallel servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of busy servers.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiters.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// SetCapacity grows or shrinks the server pool. Shrinking below the number
+// of busy servers is allowed; the pool drains naturally.
+func (r *Resource) SetCapacity(c int) {
+	if c < 1 {
+		panic("sim: resource capacity must be >= 1: " + r.name)
+	}
+	r.capacity = c
+	r.dispatch()
+}
+
+func (r *Resource) accountBusy() {
+	dt := r.eng.Now() - r.lastChange
+	r.busyTime += dt * float64(r.inUse)
+	r.lastChange = r.eng.Now()
+}
+
+// Acquire requests a server slot; got runs (as a scheduled event at the
+// acquisition instant) once a slot is owned. The waiting time is recorded.
+func (r *Resource) Acquire(got func()) {
+	reqAt := r.eng.Now()
+	wrapped := func() {
+		r.acquires++
+		r.totalWait += r.eng.Now() - reqAt
+		got()
+	}
+	r.queue = append(r.queue, wrapped)
+	if len(r.queue) > r.queuedPeak {
+		r.queuedPeak = len(r.queue)
+	}
+	r.dispatch()
+}
+
+// Release returns a slot to the pool and wakes the next waiter, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.accountBusy()
+	r.inUse--
+	r.dispatch()
+}
+
+func (r *Resource) dispatch() {
+	for r.inUse < r.capacity && len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.accountBusy()
+		r.inUse++
+		// Fire as an event so acquisition order interleaves with other
+		// same-instant activity deterministically.
+		r.eng.After(0, next)
+	}
+}
+
+// Use acquires a slot, holds it for service seconds, releases it, then runs
+// done. It is the common acquire/delay/release idiom.
+func (r *Resource) Use(service float64, done func()) {
+	r.Acquire(func() {
+		r.eng.After(service, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Stats summarises resource behaviour over a run.
+type Stats struct {
+	Acquires  uint64
+	AvgWait   float64
+	PeakQueue int
+	BusyTime  float64
+}
+
+// Stats returns the accumulated statistics.
+func (r *Resource) Stats() Stats {
+	s := Stats{Acquires: r.acquires, PeakQueue: r.queuedPeak, BusyTime: r.busyTime}
+	if r.acquires > 0 {
+		s.AvgWait = r.totalWait / float64(r.acquires)
+	}
+	return s
+}
+
+// Pipe models a bandwidth-shared link (a NIC or switch port) as a single
+// FIFO server whose service time is size/rate. It approximates fair sharing
+// well enough for throughput modelling while staying O(1) per transfer.
+type Pipe struct {
+	res  *Resource
+	rate float64 // bytes per second
+}
+
+// NewPipe creates a link with the given rate in bytes/second.
+func NewPipe(eng *Engine, name string, rate float64) *Pipe {
+	if rate <= 0 {
+		panic("sim: pipe rate must be positive: " + name)
+	}
+	return &Pipe{res: NewResource(eng, name, 1), rate: rate}
+}
+
+// Rate returns the link rate in bytes/second.
+func (p *Pipe) Rate() float64 { return p.rate }
+
+// Send transfers size bytes through the link and then runs done.
+func (p *Pipe) Send(size float64, done func()) {
+	if size < 0 {
+		panic("sim: negative transfer size")
+	}
+	p.res.Use(size/p.rate, done)
+}
+
+// Stats exposes the underlying resource statistics.
+func (p *Pipe) Stats() Stats { return p.res.Stats() }
+
+// Gate is a counting semaphore without service time — callers acquire
+// a token, do arbitrary asynchronous work, and release it later. It is used
+// for client-side in-flight RPC windows.
+type Gate struct {
+	res *Resource
+}
+
+// NewGate creates a gate admitting width concurrent holders.
+func NewGate(eng *Engine, name string, width int) *Gate {
+	return &Gate{res: NewResource(eng, name, width)}
+}
+
+// SetWidth adjusts the window width.
+func (g *Gate) SetWidth(w int) { g.res.SetCapacity(w) }
+
+// Width returns the current window width.
+func (g *Gate) Width() int { return g.res.Capacity() }
+
+// Enter acquires a token and runs in once admitted.
+func (g *Gate) Enter(in func()) { g.res.Acquire(in) }
+
+// Leave releases a token.
+func (g *Gate) Leave() { g.res.Release() }
+
+// InFlight returns the number of tokens currently held.
+func (g *Gate) InFlight() int { return g.res.InUse() }
+
+// Stats exposes gate queueing statistics.
+func (g *Gate) Stats() Stats { return g.res.Stats() }
+
+// WaitGroup counts outstanding asynchronous operations inside the
+// simulation and fires a callback when the count returns to zero.
+type WaitGroup struct {
+	n    int
+	done func()
+}
+
+// Add increments the outstanding count.
+func (w *WaitGroup) Add(n int) { w.n += n }
+
+// Done decrements the count, firing the registered callback at zero.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup underflow")
+	}
+	if w.n == 0 && w.done != nil {
+		f := w.done
+		w.done = nil
+		f()
+	}
+}
+
+// Wait registers fn to run when the count reaches zero. If the count is
+// already zero fn runs immediately.
+func (w *WaitGroup) Wait(fn func()) {
+	if w.n == 0 {
+		fn()
+		return
+	}
+	if w.done != nil {
+		panic("sim: WaitGroup already has a waiter")
+	}
+	w.done = fn
+}
+
+// Outstanding returns the current count.
+func (w *WaitGroup) Outstanding() int { return w.n }

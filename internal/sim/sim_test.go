@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(2, func() { got = append(got, 2) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end time = %g, want 3", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestEngineStableSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterChaining(t *testing.T) {
+	e := NewEngine()
+	var end float64
+	e.After(1, func() {
+		e.After(2, func() {
+			end = e.Now()
+		})
+	})
+	e.Run()
+	if end != 3 {
+		t.Fatalf("chained time = %g, want 3", end)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 100; i++ {
+		e.At(float64(i), func() {
+			n++
+			if n == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 10 {
+		t.Fatalf("executed %d events after Stop, want 10", n)
+	}
+	if e.Pending() != 90 {
+		t.Fatalf("pending = %d, want 90", e.Pending())
+	}
+}
+
+func TestResourceSerialisation(t *testing.T) {
+	// Capacity 1, three jobs of 2s each arriving together: completes at 2,4,6.
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	var finishes []float64
+	for i := 0; i < 3; i++ {
+		r.Use(2, func() { finishes = append(finishes, e.Now()) })
+	}
+	e.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Fatalf("finishes = %v, want %v", finishes, want)
+		}
+	}
+	if s := r.Stats(); s.Acquires != 3 {
+		t.Fatalf("acquires = %d", s.Acquires)
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	// Capacity 2, four 1s jobs: done at 1,1,2,2.
+	e := NewEngine()
+	r := NewResource(e, "threads", 2)
+	var finishes []float64
+	for i := 0; i < 4; i++ {
+		r.Use(1, func() { finishes = append(finishes, e.Now()) })
+	}
+	e.Run()
+	want := []float64{1, 1, 2, 2}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Fatalf("finishes = %v, want %v", finishes, want)
+		}
+	}
+}
+
+func TestResourceWaitAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	r.Use(3, nil)
+	r.Use(3, nil) // waits 3s
+	e.Run()
+	s := r.Stats()
+	if s.AvgWait != 1.5 {
+		t.Fatalf("avg wait = %g, want 1.5", s.AvgWait)
+	}
+	if s.BusyTime != 6 {
+		t.Fatalf("busy = %g, want 6", s.BusyTime)
+	}
+}
+
+func TestResourceGrowCapacityWakesWaiters(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	var done []float64
+	for i := 0; i < 2; i++ {
+		r.Use(4, func() { done = append(done, e.Now()) })
+	}
+	e.At(1, func() { r.SetCapacity(2) })
+	e.Run()
+	// Second job starts at t=1 instead of t=4.
+	if done[1] != 5 {
+		t.Fatalf("second completion = %g, want 5", done[1])
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestPipeThroughput(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, "nic", 100) // 100 B/s
+	var last float64
+	for i := 0; i < 4; i++ {
+		p.Send(50, func() { last = e.Now() })
+	}
+	e.Run()
+	if last != 2.0 {
+		t.Fatalf("4x50B over 100B/s finished at %g, want 2", last)
+	}
+}
+
+func TestGateWindow(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, "rpc", 2)
+	inFlightPeak := 0
+	launch := func() {
+		g.Enter(func() {
+			if g.InFlight() > inFlightPeak {
+				inFlightPeak = g.InFlight()
+			}
+			e.After(1, g.Leave)
+		})
+	}
+	for i := 0; i < 8; i++ {
+		launch()
+	}
+	end := e.Run()
+	if inFlightPeak != 2 {
+		t.Fatalf("peak in flight = %d, want 2", inFlightPeak)
+	}
+	if end != 4 {
+		t.Fatalf("8 jobs, window 2, 1s each: end = %g, want 4", end)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	fired := false
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		e.At(float64(i), wg.Done)
+	}
+	wg.Wait(func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("waitgroup callback did not fire")
+	}
+	if e.Now() != 3 {
+		t.Fatalf("fired at %g", e.Now())
+	}
+}
+
+func TestWaitGroupImmediate(t *testing.T) {
+	var wg WaitGroup
+	fired := false
+	wg.Wait(func() { fired = true })
+	if !fired {
+		t.Fatal("empty waitgroup should fire immediately")
+	}
+}
+
+// Property: for a single-server resource, total completion time of n jobs
+// equals the sum of their service times (work conservation), regardless of
+// arrival pattern.
+func TestResourceWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, "p", 1)
+		n := 1 + rng.Intn(20)
+		var sum float64
+		for i := 0; i < n; i++ {
+			d := 0.1 + rng.Float64()
+			sum += d
+			at := rng.Float64() * 0.01 // all arrive near t=0
+			e.At(at, func() { r.Use(d, nil) })
+		}
+		end := e.Run()
+		// End time should be within the largest arrival offset of the sum.
+		return end >= sum && end <= sum+0.011
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a gate of width w never admits more than w concurrent holders.
+func TestGateNeverExceedsWidthProperty(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		w := int(width%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		g := NewGate(e, "g", w)
+		ok := true
+		for i := 0; i < 50; i++ {
+			at := rng.Float64() * 5
+			hold := rng.Float64()
+			e.At(at, func() {
+				g.Enter(func() {
+					if g.InFlight() > w {
+						ok = false
+					}
+					e.After(hold, g.Leave)
+				})
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		e := NewEngine()
+		r := NewResource(e, "a", 3)
+		p := NewPipe(e, "b", 1e6)
+		for i := 0; i < 200; i++ {
+			sz := float64(100 + i*13%997)
+			r.Use(0.001*float64(i%7+1), func() {
+				p.Send(sz, nil)
+			})
+		}
+		return e.Run(), e.Fired()
+	}
+	t1, f1 := run()
+	t2, f2 := run()
+	if t1 != t2 || f1 != f2 {
+		t.Fatalf("nondeterministic: (%g,%d) vs (%g,%d)", t1, f1, t2, f2)
+	}
+}

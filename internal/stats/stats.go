@@ -1,0 +1,63 @@
+// Package stats provides the small statistical helpers the evaluation
+// protocol needs: means and 90% confidence intervals over the paper's
+// eight-repetition runs.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// t90 holds two-sided 90% Student-t critical values by degrees of freedom.
+var t90 = []float64{0, 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812}
+
+// CI90 returns the half-width of the 90% confidence interval of the mean.
+func CI90(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	t := 1.645 // normal approximation for large n
+	if n-1 < len(t90) {
+		t = t90[n-1]
+	}
+	return t * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary bundles the per-configuration measurement the figures report.
+type Summary struct {
+	Mean float64
+	CI90 float64
+	N    int
+	Raw  []float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	return Summary{Mean: Mean(xs), CI90: CI90(xs), N: len(xs), Raw: cp}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %g", m)
+	}
+	sd := StdDev(xs)
+	if math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev = %g", sd)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs mishandled")
+	}
+}
+
+func TestCI90KnownCase(t *testing.T) {
+	// n=8 -> t(7, 90%) = 1.895.
+	xs := []float64{1, 1, 1, 1, 2, 2, 2, 2}
+	want := 1.895 * StdDev(xs) / math.Sqrt(8)
+	if got := CI90(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ci90 = %g, want %g", got, want)
+	}
+	if CI90([]float64{5}) != 0 {
+		t.Fatal("single sample should have zero CI")
+	}
+}
+
+func TestSummarizeCopiesRaw(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	s := Summarize(xs)
+	xs[0] = 99
+	if s.Raw[0] != 1 || s.N != 3 {
+		t.Fatal("summary aliases input")
+	}
+}
+
+// Property: the CI half-width shrinks as samples are duplicated (more data,
+// same spread) and the mean of constant data has zero CI.
+func TestCIProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]float64, 5)
+		for i := range base {
+			base[i] = rng.Float64() * 10
+		}
+		doubled := append(append([]float64{}, base...), base...)
+		if CI90(doubled) > CI90(base)+1e-12 {
+			return false
+		}
+		cst := []float64{3, 3, 3, 3}
+		return CI90(cst) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import "math/rand"
+
+// Extra application kernels beyond the paper's evaluation set. Figure 1 of
+// the paper names E3SM and H5Bench as target applications of the online
+// phase; these generators model their characteristic I/O so the engine can
+// be exercised on them too (see examples and tests).
+
+// E3SM models the Energy Exascale Earth System Model's history-file output:
+// periodic collective writes of many medium-sized variable blocks to a
+// shared NetCDF-style file, with a serial header rewrite per step — a
+// write-dominated, shared-file, moderately sequential pattern.
+func E3SM(ranks int, scale float64) *Workload {
+	b := newBuilder("E3SM", "MPI-IO", ranks, scale)
+	rng := rand.New(rand.NewSource(3))
+	steps := 3
+	varsPerStep := scaleCount(16, scale)
+	dir := b.addDir()
+
+	b.phase("history-output")
+	for s := 0; s < steps; s++ {
+		f := b.addFile(dir, true)
+		for r := 0; r < ranks; r++ {
+			b.op(r, Op{Type: OpCreate, File: f, Dir: dir})
+		}
+		// Header written by rank 0 (NetCDF metadata).
+		b.op(0, Op{Type: OpWrite, File: f, Offset: 0, Size: 64 << 10})
+		const headerSpan = 1 << 20
+		// Each variable is a contiguous region decomposed across ranks.
+		varOff := int64(headerSpan)
+		for v := 0; v < varsPerStep; v++ {
+			// Variable sizes vary between 1 and 8 MiB per rank.
+			perRank := int64(1<<20) << uint(rng.Intn(4))
+			for r := 0; r < ranks; r++ {
+				b.op(r, Op{Type: OpWrite, File: f,
+					Offset: varOff + int64(r)*perRank, Size: perRank})
+			}
+			varOff += perRank * int64(ranks)
+		}
+		for r := 0; r < ranks; r++ {
+			b.op(r, Op{Type: OpFsync, File: f})
+			b.op(r, Op{Type: OpClose, File: f})
+		}
+		b.barrier()
+	}
+	return b.w
+}
+
+// H5Bench models the h5bench sequential write/read pattern: HDF5-style
+// contiguous dataset writes to a shared file followed by a full read-back,
+// with periodic small metadata flushes (the HDF5 superblock and object
+// headers).
+func H5Bench(ranks int, scale float64) *Workload {
+	b := newBuilder("H5Bench", "MPI-IO", ranks, scale)
+	dir := b.addDir()
+	f := b.addFile(dir, true)
+
+	perRank := int64(float64(256<<20) * scale)
+	const xfer = 2 << 20
+	n := int(perRank / xfer)
+	if n < 2 {
+		n = 2
+	}
+
+	b.phase("write")
+	for r := 0; r < ranks; r++ {
+		b.op(r, Op{Type: OpCreate, File: f, Dir: dir})
+	}
+	// Superblock by rank 0.
+	b.op(0, Op{Type: OpWrite, File: f, Offset: 0, Size: 8 << 10})
+	base := int64(1 << 20)
+	for r := 0; r < ranks; r++ {
+		start := base + int64(r)*int64(n)*xfer
+		for i := 0; i < n; i++ {
+			b.op(r, Op{Type: OpWrite, File: f, Offset: start + int64(i)*xfer, Size: xfer})
+			// Periodic object-header update (small strided write).
+			if i%16 == 15 {
+				b.op(r, Op{Type: OpWrite, File: f, Offset: base - 512<<10 + int64(r)*4096, Size: 4096})
+			}
+		}
+		b.op(r, Op{Type: OpFsync, File: f})
+	}
+	b.barrier()
+
+	b.phase("read")
+	for r := 0; r < ranks; r++ {
+		reader := (r + ranks/2) % ranks
+		start := base + int64(r)*int64(n)*xfer
+		for i := 0; i < n; i++ {
+			b.op(reader, Op{Type: OpRead, File: f, Offset: start + int64(i)*xfer, Size: xfer})
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		b.op(r, Op{Type: OpClose, File: f})
+	}
+	b.barrier()
+	return b.w
+}

@@ -1,0 +1,50 @@
+package workload
+
+import "testing"
+
+func TestExtrasGenerate(t *testing.T) {
+	for _, name := range Extras() {
+		w, err := Catalog(name, 8, 0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		_, written := w.TotalBytes()
+		if written == 0 {
+			t.Fatalf("%s writes nothing", name)
+		}
+	}
+}
+
+func TestE3SMIsSharedWriteDominated(t *testing.T) {
+	w := E3SM(8, 0.25)
+	read, written := w.TotalBytes()
+	if read != 0 {
+		t.Fatalf("E3SM history output should be write-only, read %d", read)
+	}
+	if written == 0 {
+		t.Fatal("no history output written")
+	}
+	sharedSeen := false
+	for _, f := range w.Files {
+		if f.Shared {
+			sharedSeen = true
+		}
+	}
+	if !sharedSeen {
+		t.Fatal("E3SM history files must be shared")
+	}
+}
+
+func TestH5BenchHasReadBackPhase(t *testing.T) {
+	w := H5Bench(8, 0.1)
+	read, written := w.TotalBytes()
+	if read == 0 || written == 0 {
+		t.Fatalf("h5bench phases missing: read=%d written=%d", read, written)
+	}
+	if len(w.Phases) != 2 {
+		t.Fatalf("phases = %d", len(w.Phases))
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogCoversPaperWorkloads(t *testing.T) {
+	for _, name := range append(Benchmarks(), RealApps()...) {
+		w, err := Catalog(name, 10, 0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		if w.NumRanks() != 10 {
+			t.Fatalf("%s ranks = %d", name, w.NumRanks())
+		}
+	}
+	if _, err := Catalog("bogus", 10, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestIOR64KShape(t *testing.T) {
+	w := IOR64K(4, 1.0)
+	if w.Name != "IOR_64K" || w.Interface != "MPI-IO" {
+		t.Fatalf("name=%s iface=%s", w.Name, w.Interface)
+	}
+	read, written := w.TotalBytes()
+	if read != written {
+		t.Fatalf("read-back should equal written: %d vs %d", read, written)
+	}
+	// 64 KiB transfers only.
+	for _, ops := range w.Ranks {
+		for _, op := range ops {
+			if (op.Type == OpRead || op.Type == OpWrite) && op.Size != 64<<10 {
+				t.Fatalf("transfer size %d", op.Size)
+			}
+		}
+	}
+	// Random ordering: the first rank's writes should not be offset-sorted.
+	var offs []int64
+	for _, op := range w.Ranks[0] {
+		if op.Type == OpWrite {
+			offs = append(offs, op.Offset)
+		}
+	}
+	sorted := true
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			sorted = false
+		}
+	}
+	if sorted {
+		t.Fatal("IOR_64K writes are sequential; expected random order")
+	}
+}
+
+func TestIOR16MSequential(t *testing.T) {
+	w := IOR16M(4, 1.0)
+	for _, op := range w.Ranks[0] {
+		if op.Type == OpWrite && op.Size != 16<<20 {
+			t.Fatalf("transfer size %d", op.Size)
+		}
+	}
+	read, written := w.TotalBytes()
+	// 3 blocks x 128 MiB x 4 ranks at scale 1.
+	if written != 3*128<<20*4 {
+		t.Fatalf("written = %d", written)
+	}
+	if read != written {
+		t.Fatalf("read = %d", read)
+	}
+}
+
+func TestIORReadersShifted(t *testing.T) {
+	// The read phase must not be served by the writing rank's cache: the
+	// reader of region r is a different rank.
+	w := IOR(IORSpec{Ranks: 4, TransferSize: 1 << 20, BlockSize: 4 << 20,
+		Blocks: 1, ReadBack: true, Seed: 1}, 1.0)
+	writerOf := map[int64]int{}
+	for r, ops := range w.Ranks {
+		for _, op := range ops {
+			if op.Type == OpWrite {
+				writerOf[op.Offset] = r
+			}
+		}
+	}
+	for r, ops := range w.Ranks {
+		for _, op := range ops {
+			if op.Type == OpRead {
+				if writerOf[op.Offset] == r {
+					t.Fatalf("rank %d reads its own region at %d", r, op.Offset)
+				}
+			}
+		}
+	}
+}
+
+func TestMDWorkbenchCycle(t *testing.T) {
+	w := MDWorkbench(MDWorkbenchSpec{
+		Ranks: 2, DirsPerRank: 1, FilesPerDir: 3, FileSize: 2 << 10, Rounds: 2,
+	}, 1.0)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each file sees the 8-op cycle per round: count per rank.
+	counts := map[OpType]int{}
+	for _, op := range w.Ranks[0] {
+		counts[op.Type]++
+	}
+	files, rounds := 3, 2
+	if counts[OpCreate] != files*rounds || counts[OpUnlink] != files*rounds {
+		t.Fatalf("create/unlink counts = %d/%d", counts[OpCreate], counts[OpUnlink])
+	}
+	if counts[OpClose] != 2*files*rounds {
+		t.Fatalf("close count = %d", counts[OpClose])
+	}
+	if counts[OpStat] != files*rounds || counts[OpOpen] != files*rounds {
+		t.Fatalf("stat/open = %d/%d", counts[OpStat], counts[OpOpen])
+	}
+}
+
+func TestMDWorkbenchSharedDirs(t *testing.T) {
+	w := MDWorkbench(MDWorkbenchSpec{
+		Ranks: 3, DirsPerRank: 2, FilesPerDir: 2, FileSize: 1 << 10, Rounds: 1,
+		SharedDirs: true,
+	}, 1.0)
+	if w.DirCount != 2 {
+		t.Fatalf("shared dirs: DirCount = %d, want 2", w.DirCount)
+	}
+	for _, f := range w.Files {
+		if !f.Shared {
+			t.Fatal("files in shared dirs must be marked shared")
+		}
+	}
+}
+
+func TestIO500Phases(t *testing.T) {
+	w := IO500(4, 0.2)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(w.Phases))
+	}
+	names := map[string]bool{}
+	for _, p := range w.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"ior-easy", "ior-hard", "mdtest-easy", "mdtest-hard"} {
+		if !names[want] {
+			t.Errorf("missing phase %s", want)
+		}
+	}
+}
+
+func TestMACSioFilePerProcess(t *testing.T) {
+	w := MACSio512K(4, 1.0)
+	for _, f := range w.Files {
+		if f.Shared {
+			t.Fatal("MACSio files must be file-per-process")
+		}
+	}
+	_, written := w.TotalBytes()
+	if written == 0 {
+		t.Fatal("no bytes written")
+	}
+}
+
+func TestScaleReducesWork(t *testing.T) {
+	full := MDWorkbench8K(4, 1.0)
+	quarter := MDWorkbench8K(4, 0.25)
+	if quarter.TotalOps() >= full.TotalOps() {
+		t.Fatalf("scale did not reduce ops: %d vs %d", quarter.TotalOps(), full.TotalOps())
+	}
+}
+
+// Property: every generated workload validates and has balanced barrier
+// counts across ranks.
+func TestWorkloadInvariantsProperty(t *testing.T) {
+	names := append(Benchmarks(), RealApps()...)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		name := names[rng.Intn(len(names))]
+		ranks := 2 + rng.Intn(6)
+		scale := 0.05 + rng.Float64()*0.3
+		w, err := Catalog(name, ranks, scale)
+		if err != nil || w.Validate() != nil {
+			return false
+		}
+		barriers := make([]int, ranks)
+		for r, ops := range w.Ranks {
+			for _, op := range ops {
+				if op.Type == OpBarrier {
+					barriers[r]++
+				}
+			}
+		}
+		for r := 1; r < ranks; r++ {
+			if barriers[r] != barriers[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
