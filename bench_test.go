@@ -1,6 +1,7 @@
 // Package stellar's root benchmark harness: one testing.B benchmark per
 // paper table/figure (regenerating the artifact each iteration) plus
-// substrate micro-benchmarks. Run with:
+// substrate micro-benchmarks and the parallel-vs-serial evaluation
+// comparison. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -10,6 +11,8 @@
 package stellar
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"stellar/internal/cluster"
@@ -36,7 +39,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tbl, err := e.Run(benchCfg())
+		tbl, err := e.Run(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,12 +84,62 @@ func BenchmarkIterationCost(b *testing.B) { runExperiment(b, "iters") }
 func BenchmarkFig10CaseStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.Fig10CaseStudy(benchCfg())
+		out, err := experiments.Fig10CaseStudy(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(out) == 0 {
 			b.Fatal("empty case study")
+		}
+	}
+}
+
+// ----------------------------------------------------------------------
+// Parallel vs serial evaluation.
+// ----------------------------------------------------------------------
+
+// benchEvaluate measures Engine.Evaluate at the paper's eight-rep protocol
+// with the given worker-pool size. Compare BenchmarkEvaluateSerial with
+// BenchmarkEvaluateParallel: on a multi-core box the parallel variant's
+// wall-clock scales down with cores while producing bit-identical
+// summaries (determinism is asserted in internal/core's tests).
+func benchEvaluate(b *testing.B, parallel int) {
+	b.Helper()
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec: cluster.Default(), TuningModel: simllm.Claude37,
+		AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+		Scale: 0.25, Parallel: parallel,
+	})
+	cfg := params.DefaultConfig(eng.Registry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(context.Background(), "IOR_16M", cfg, 8, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateSerial is the strict serial reference path.
+func BenchmarkEvaluateSerial(b *testing.B) { benchEvaluate(b, 1) }
+
+// BenchmarkEvaluateParallel fans the eight repetitions over all cores.
+func BenchmarkEvaluateParallel(b *testing.B) { benchEvaluate(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkFig8AblationParallel regenerates Figure 8 with its three
+// independent arms fanned over the worker pool, the experiment-level
+// counterpart to BenchmarkEvaluateParallel.
+func BenchmarkFig8AblationParallel(b *testing.B) {
+	e, ok := experiments.Lookup("fig8")
+	if !ok {
+		b.Fatal("fig8 experiment missing")
+	}
+	cfg := benchCfg()
+	cfg.Parallel = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -143,7 +196,7 @@ func BenchmarkOfflineExtraction(b *testing.B) {
 			Spec: cluster.Default(), TuningModel: simllm.Claude37,
 			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
 		})
-		if _, err := eng.Offline(); err != nil {
+		if _, err := eng.Offline(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +211,7 @@ func BenchmarkCompleteTuningRun(b *testing.B) {
 			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
 			Scale: 0.1, Seed: int64(i + 1),
 		})
-		if _, err := eng.Tune("IOR_16M"); err != nil {
+		if _, err := eng.Tune(context.Background(), "IOR_16M"); err != nil {
 			b.Fatal(err)
 		}
 	}

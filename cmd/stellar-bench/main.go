@@ -6,12 +6,19 @@
 //	stellar-bench                  # run everything (Figures 2, 5-10, cost, iteration cost)
 //	stellar-bench -fig fig5        # one experiment (fig2 fig5 fig6 fig7 fig8 fig9 cost iters fig10)
 //	stellar-bench -reps 3          # fewer repetitions for a quick pass
+//	stellar-bench -parallel 8      # fan independent arms/reps over 8 workers
+//
+// The -parallel fan-out is deterministic: tables are bit-identical to a
+// serial run with the same seed. SIGINT/SIGTERM cancel the regeneration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"stellar/internal/experiments"
@@ -19,18 +26,22 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "experiment id to run (empty = all)")
-		reps  = flag.Int("reps", 8, "repetitions for averaged measurements")
-		scale = flag.Float64("scale", 0, "workload scale (0 = default)")
-		seed  = flag.Int64("seed", 7, "base simulation seed")
+		fig      = flag.String("fig", "", "experiment id to run (empty = all)")
+		reps     = flag.Int("reps", 8, "repetitions for averaged measurements")
+		scale    = flag.Float64("scale", 0, "workload scale (0 = default)")
+		seed     = flag.Int64("seed", 7, "base simulation seed")
+		parallel = flag.Int("parallel", 1, "worker pool size for independent arms and repetitions (1 = serial)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallel: *parallel}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	run := func(id string) {
 		t0 := time.Now()
 		if id == "fig10" {
-			out, err := experiments.Fig10CaseStudy(cfg)
+			out, err := experiments.Fig10CaseStudy(ctx, cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stellar-bench: fig10: %v\n", err)
 				os.Exit(1)
@@ -44,7 +55,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stellar-bench: unknown experiment %q\n", id)
 			os.Exit(1)
 		}
-		tbl, err := e.Run(cfg)
+		tbl, err := e.Run(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellar-bench: %s: %v\n", id, err)
 			os.Exit(1)

@@ -5,10 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"stellar/internal/cluster"
 	"stellar/internal/core"
@@ -19,13 +22,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print descriptions and ranges for the selected parameters")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
 		Spec:          cluster.Default(),
 		TuningModel:   simllm.Claude37,
 		AnalysisModel: simllm.GPT4o,
 		ExtractModel:  simllm.GPT4o,
 	})
-	rep, err := eng.Offline()
+	rep, err := eng.Offline(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stellar-extract:", err)
 		os.Exit(1)
@@ -37,7 +43,7 @@ func main() {
 	fmt.Printf("documented but low impact:     %d  %s\n", len(rep.NotSignificant), strings.Join(rep.NotSignificant, ", "))
 	fmt.Printf("selected tunables:             %d\n\n", len(rep.Selected))
 
-	tunables, err := eng.Tunables()
+	tunables, err := eng.Tunables(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stellar-extract:", err)
 		os.Exit(1)

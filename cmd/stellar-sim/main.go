@@ -7,19 +7,28 @@
 //
 //	stellar-sim -workload IOR_16M -set lov.stripe_count=-1 -set osc.max_rpcs_in_flight=64
 //	stellar-sim -workload MDWorkbench_8K -darshan
+//	stellar-sim -workload IOR_16M -reps 8 -parallel 4
+//
+// Repetitions fan out over -parallel workers with per-rep seeds fixed by
+// index, so the printed lines are identical to a serial run. SIGINT
+// cancels outstanding repetitions.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"stellar/internal/cluster"
 	"stellar/internal/darshan"
 	"stellar/internal/lustre"
 	"stellar/internal/params"
+	"stellar/internal/pool"
 	"stellar/internal/workload"
 )
 
@@ -31,14 +40,18 @@ func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
 func main() {
 	var sets setFlags
 	var (
-		name    = flag.String("workload", "IOR_16M", "workload name (benchmarks, real apps, E3SM, H5Bench)")
-		scale   = flag.Float64("scale", workload.DefaultScale, "workload scale factor")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		reps    = flag.Int("reps", 1, "repetitions (distinct seeds)")
-		dumpLog = flag.Bool("darshan", false, "print the Darshan dump of the first run")
+		name     = flag.String("workload", "IOR_16M", "workload name (benchmarks, real apps, E3SM, H5Bench)")
+		scale    = flag.Float64("scale", workload.DefaultScale, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		reps     = flag.Int("reps", 1, "repetitions (distinct seeds)")
+		parallel = flag.Int("parallel", 1, "worker pool size for repetitions (1 = serial)")
+		dumpLog  = flag.Bool("darshan", false, "print the Darshan dump of the first run")
 	)
 	flag.Var(&sets, "set", "parameter override name=value (repeatable)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec := cluster.Default()
 	reg := params.Lustre()
@@ -63,7 +76,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for i := 0; i < *reps; i++ {
+
+	type rep struct {
+		res *lustre.Result
+		col *darshan.Collector
+	}
+	results := make([]rep, *reps)
+	err = pool.Map(ctx, *parallel, *reps, func(ctx context.Context, i int) error {
 		var sink lustre.TraceSink
 		var col *darshan.Collector
 		if *dumpLog && i == 0 {
@@ -72,17 +91,29 @@ func main() {
 		}
 		res, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: *seed + int64(i)*101, Trace: sink})
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		results[i] = rep{res: res, col: col}
+		return nil
+	})
+	// Print whatever completed, in order, even when a later rep failed.
+	for i, r := range results {
+		res := r.res
+		if res == nil {
+			continue
 		}
 		fmt.Printf("run %d: wall %8.3f s   data RPCs %7d   meta RPCs %7d   stat hits %6d   RA hits %5d   RA waste %d MiB\n",
 			i, res.WallTime, res.DataRPCs, res.MetaRPCs, res.StatHits, res.RAHits, res.RAWasted>>20)
 		if len(res.Clamped) > 0 {
 			fmt.Printf("       clamped: %s\n", strings.Join(res.Clamped, ", "))
 		}
-		if col != nil {
+		if r.col != nil {
 			fmt.Println()
-			fmt.Println(col.Log("1", w.Name, w.NumRanks()).Dump())
+			fmt.Println(r.col.Log("1", w.Name, w.NumRanks()).Dump())
 		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

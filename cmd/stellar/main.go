@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	stellar -workload IOR_16M [-model claude-3.7-sonnet] [-scale 0.25] [-attempts 5]
+//	stellar -workload IOR_16M [-model claude-3.7-sonnet] [-scale 0.25] [-attempts 5] [-parallel 4]
+//
+// SIGINT/SIGTERM cancel the run's context: in-flight model calls and
+// simulator executions unwind promptly instead of running to completion.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"stellar/internal/cluster"
 	"stellar/internal/core"
@@ -27,9 +33,13 @@ func main() {
 		scale    = flag.Float64("scale", workload.DefaultScale, "workload scale factor (1.0 = paper size)")
 		attempts = flag.Int("attempts", 5, "maximum configuration attempts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 1, "worker pool size for evaluation repetitions (1 = serial)")
 		verbose  = flag.Bool("v", false, "print the I/O report and rationale details")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
 		Spec:          cluster.Default(),
@@ -39,16 +49,17 @@ func main() {
 		Scale:         *scale,
 		MaxAttempts:   *attempts,
 		Seed:          *seed,
+		Parallel:      *parallel,
 	})
 
-	rep, err := eng.Offline()
+	rep, err := eng.Offline(ctx)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("offline extraction: %d parameters in the tree, %d writable, %d selected as tunable\n",
 		rep.TotalParams, rep.Writable, len(rep.Selected))
 
-	res, err := eng.Tune(*name)
+	res, err := eng.Tune(ctx, *name)
 	if err != nil {
 		fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	variants := []struct {
 		label            string
 		noDescs, noAnaly bool
@@ -30,7 +32,7 @@ func main() {
 			DisableDescriptions: v.noDescs,
 			DisableAnalysis:     v.noAnaly,
 		})
-		res, err := eng.Tune("MDWorkbench_8K")
+		res, err := eng.Tune(ctx, "MDWorkbench_8K")
 		if err != nil {
 			log.Fatal(err)
 		}

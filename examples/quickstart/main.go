@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The LLM backend. Offline this is the deterministic expert-policy
 	// model suite; swap in httpllm.New("https://api.openai.com/v1", key)
 	// to drive a real endpoint with identical prompts.
@@ -25,14 +28,14 @@ func main() {
 	})
 
 	// Offline phase: extract tunable parameters from the manual via RAG.
-	report, err := eng.Offline()
+	report, err := eng.Offline(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("offline phase selected %d tunable parameters\n", len(report.Selected))
 
 	// Online phase: one complete tuning run.
-	res, err := eng.Tune("IOR_16M")
+	res, err := eng.Tune(ctx, "IOR_16M")
 	if err != nil {
 		log.Fatal(err)
 	}

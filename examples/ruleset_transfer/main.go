@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,12 @@ func newEngine() *core.Engine {
 }
 
 func main() {
+	ctx := context.Background()
+
 	// Phase 1: accumulate knowledge on the benchmarks.
 	teacher := newEngine()
 	for _, b := range []string{"IOR_64K", "IOR_16M", "MDWorkbench_8K"} {
-		if _, err := teacher.Tune(b); err != nil {
+		if _, err := teacher.Tune(ctx, b); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("learned from %-16s -> %d rules in the global set\n", b, teacher.Rules().Len())
@@ -35,7 +38,7 @@ func main() {
 
 	// Phase 2: a previously unseen real application, without rules...
 	fresh := newEngine()
-	without, err := fresh.Tune("MACSio_16M")
+	without, err := fresh.Tune(ctx, "MACSio_16M")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	informed.SetRules(set)
-	with, err := informed.Tune("MACSio_16M")
+	with, err := informed.Tune(ctx, "MACSio_16M")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module stellar
+
+go 1.24

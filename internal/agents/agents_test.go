@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -42,7 +43,7 @@ func analysisFixture(t *testing.T) *AnalysisAgent {
 
 func TestAnalysisInitialReport(t *testing.T) {
 	a := analysisFixture(t)
-	report, feats, err := a.InitialReport()
+	report, feats, err := a.InitialReport(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,10 +70,10 @@ func TestAnalysisInitialReport(t *testing.T) {
 
 func TestAnalysisFollowUpQuestion(t *testing.T) {
 	a := analysisFixture(t)
-	if _, _, err := a.InitialReport(); err != nil {
+	if _, _, err := a.InitialReport(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	ans, err := a.Ask("What is the ratio of metadata operations to data operations?")
+	ans, err := a.Ask(context.Background(), "What is the ratio of metadata operations to data operations?")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ type scriptedRunner struct {
 	cfgs  []params.Config
 }
 
-func (s *scriptedRunner) Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+func (s *scriptedRunner) Run(ctx context.Context, cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
 	w := s.walls[s.calls%len(s.walls)]
 	s.calls++
 	s.cfgs = append(s.cfgs, cfg)
@@ -114,7 +115,7 @@ func seqReport() string {
 
 func TestRunTuningLoopConverges(t *testing.T) {
 	runner := &scriptedRunner{walls: []float64{4.0, 3.9, 3.88}}
-	res, err := RunTuning(TuningOptions{
+	res, err := RunTuning(context.Background(), TuningOptions{
 		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
 		Model:    simllm.Claude37,
 		Params:   tunables(),
@@ -158,7 +159,7 @@ func TestRunTuningEnforcesAttemptCap(t *testing.T) {
 		walls[i] = 10.0 / float64(i+2)
 	}
 	runner := &scriptedRunner{walls: walls}
-	res, err := RunTuning(TuningOptions{
+	res, err := RunTuning(context.Background(), TuningOptions{
 		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
 		Model:    simllm.Claude37,
 		Params:   tunables(),
@@ -184,7 +185,7 @@ func TestRunTuningNoAnalysisTool(t *testing.T) {
 	f := protocol.Features{Dominant: "metadata", MetaRatio: 0.7, AvgFileKB: 8}
 	report := "r\n\n" + protocol.Section(protocol.SecFeatures, protocol.MarshalJSONValue(f))
 	runner := &scriptedRunner{walls: []float64{5, 4.9, 4.89}}
-	res, err := RunTuning(TuningOptions{
+	res, err := RunTuning(context.Background(), TuningOptions{
 		Client:   llm.NewMeter(simllm.New(simllm.Claude37)),
 		Model:    simllm.Claude37,
 		Params:   tunables(),
@@ -210,20 +211,20 @@ func TestRunTuningNoAnalysisTool(t *testing.T) {
 }
 
 func TestRunTuningValidatesOptions(t *testing.T) {
-	if _, err := RunTuning(TuningOptions{}); err == nil {
+	if _, err := RunTuning(context.Background(), TuningOptions{}); err == nil {
 		t.Fatal("missing runner accepted")
 	}
 }
 
 func TestRunConfigToolRejectsGarbage(t *testing.T) {
 	opts := TuningOptions{Runner: &scriptedRunner{walls: []float64{1}}}
-	if _, err := runConfigTool(opts, "not json", 1); err == nil {
+	if _, err := runConfigTool(context.Background(), opts, "not json", 1); err == nil {
 		t.Fatal("bad arguments accepted")
 	}
-	if _, err := runConfigTool(opts, `{"config": {}}`, 1); err == nil {
+	if _, err := runConfigTool(context.Background(), opts, `{"config": {}}`, 1); err == nil {
 		t.Fatal("empty config accepted")
 	}
-	entry, err := runConfigTool(opts, `{"config": {"a": 1}, "rationale": {"a": "why"}}`, 3)
+	entry, err := runConfigTool(context.Background(), opts, `{"config": {"a": 1}, "rationale": {"a": "why"}}`, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

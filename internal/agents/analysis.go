@@ -6,6 +6,7 @@
 package agents
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -20,11 +21,11 @@ const maxMinorLoop = 6
 
 // chat routes through the meter when available so per-agent token and
 // cache statistics accumulate.
-func chat(client llm.Client, session string, req *llm.Request) (*llm.Response, error) {
+func chat(ctx context.Context, client llm.Client, session string, req *llm.Request) (*llm.Response, error) {
 	if m, ok := client.(*llm.Meter); ok {
-		return m.ChatSession(session, req)
+		return m.CompleteSession(ctx, session, req)
 	}
-	return client.Chat(req)
+	return client.Complete(ctx, req)
 }
 
 // AnalysisAgent analyses preprocessed Darshan dataframes by writing and
@@ -49,7 +50,7 @@ var analysisTools = []llm.ToolDef{{
 
 // InitialReport runs the characterisation task and returns the I/O report
 // plus the structured features block parsed from it.
-func (a *AnalysisAgent) InitialReport() (string, *protocol.Features, error) {
+func (a *AnalysisAgent) InitialReport(ctx context.Context) (string, *protocol.Features, error) {
 	task := protocol.Section(protocol.SecHeader, a.Header) +
 		protocol.Section(protocol.SecFrames, a.Docs) +
 		"Provide a high-level summary of the application's I/O behaviour: inspect the " +
@@ -57,7 +58,7 @@ func (a *AnalysisAgent) InitialReport() (string, *protocol.Features, error) {
 		"for tuning the file system parameters. Close your report with a '### " +
 		protocol.SecFeatures + "' JSON block."
 	a.messages = append(a.messages, llm.Message{Role: llm.RoleUser, Content: task})
-	report, err := a.loop()
+	report, err := a.loop(ctx)
 	if err != nil {
 		return "", nil, err
 	}
@@ -77,19 +78,19 @@ func (a *AnalysisAgent) InitialReport() (string, *protocol.Features, error) {
 }
 
 // Ask forwards a Tuning Agent follow-up question through the minor loop.
-func (a *AnalysisAgent) Ask(question string) (string, error) {
+func (a *AnalysisAgent) Ask(ctx context.Context, question string) (string, error) {
 	a.messages = append(a.messages, llm.Message{
 		Role:    llm.RoleUser,
 		Content: protocol.Section(protocol.SecQuestion, question),
 	})
-	return a.loop()
+	return a.loop(ctx)
 }
 
 // loop drives model calls and program executions until the model answers
 // in plain content.
-func (a *AnalysisAgent) loop() (string, error) {
+func (a *AnalysisAgent) loop(ctx context.Context) (string, error) {
 	for i := 0; i < maxMinorLoop; i++ {
-		resp, err := chat(a.Client, "analysis-agent", &llm.Request{
+		resp, err := chat(ctx, a.Client, "analysis-agent", &llm.Request{
 			Model:    a.Model,
 			System:   protocol.SysAnalysis,
 			Messages: a.messages,

@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -14,9 +15,10 @@ import (
 // Runner executes a candidate configuration against the real system (the
 // Configuration Runner Tool's backend: apply parameters, rerun the
 // application, collect performance feedback). core provides the
-// implementation with the reset-and-rerun hygiene protocol.
+// implementation with the reset-and-rerun hygiene protocol. Cancelling ctx
+// aborts the run.
 type Runner interface {
-	Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
+	Run(ctx context.Context, cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
 }
 
 // TuningOptions configures one tuning run's main loop.
@@ -70,8 +72,9 @@ var tuningTools = []llm.ToolDef{
 const maxAgentTurns = 24
 
 // RunTuning drives the main trial-and-error loop and the closing
-// Reflect & Summarize step.
-func RunTuning(opts TuningOptions) (*TuningResult, error) {
+// Reflect & Summarize step. Cancelling ctx stops the loop between (and
+// inside) model calls and returns ctx.Err().
+func RunTuning(ctx context.Context, opts TuningOptions) (*TuningResult, error) {
 	if opts.Runner == nil {
 		return nil, fmt.Errorf("agents: tuning needs a Runner")
 	}
@@ -101,7 +104,10 @@ func RunTuning(opts TuningOptions) (*TuningResult, error) {
 	res := &TuningResult{History: history}
 	msgs := []llm.Message{{Role: llm.RoleUser, Content: first}}
 	for turn := 0; turn < maxAgentTurns; turn++ {
-		resp, err := chat(opts.Client, "tuning-agent", &llm.Request{
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := chat(ctx, opts.Client, "tuning-agent", &llm.Request{
 			Model:    opts.Model,
 			System:   protocol.SysTuning,
 			Messages: msgs,
@@ -122,10 +128,13 @@ func RunTuning(opts TuningOptions) (*TuningResult, error) {
 			var toolOut string
 			switch call.Name {
 			case protocol.ToolAnalysis:
-				toolOut = runAnalysisTool(opts.Analysis, call.Arguments)
+				toolOut = runAnalysisTool(ctx, opts.Analysis, call.Arguments)
 			case protocol.ToolRunConfig:
-				entry, err := runConfigTool(opts, call.Arguments, len(res.History))
+				entry, err := runConfigTool(ctx, opts, call.Arguments, len(res.History))
 				if err != nil {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
 					toolOut = "tool error: " + err.Error()
 				} else {
 					res.History = append(res.History, entry)
@@ -160,7 +169,7 @@ func RunTuning(opts TuningOptions) (*TuningResult, error) {
 	res.Messages = msgs
 	res.Best = bestEntry(res.History)
 
-	merged, err := reflect(opts, res)
+	merged, err := reflect(ctx, opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +177,7 @@ func RunTuning(opts TuningOptions) (*TuningResult, error) {
 	return res, nil
 }
 
-func runAnalysisTool(a *AnalysisAgent, arguments string) string {
+func runAnalysisTool(ctx context.Context, a *AnalysisAgent, arguments string) string {
 	if a == nil {
 		return "analysis unavailable: the Analysis Agent is disabled"
 	}
@@ -178,14 +187,14 @@ func runAnalysisTool(a *AnalysisAgent, arguments string) string {
 	if err := json.Unmarshal([]byte(arguments), &args); err != nil || args.Question == "" {
 		return "tool error: analysis_request needs a question"
 	}
-	ans, err := a.Ask(args.Question)
+	ans, err := a.Ask(ctx, args.Question)
 	if err != nil {
 		return "analysis failed: " + err.Error()
 	}
 	return ans
 }
 
-func runConfigTool(opts TuningOptions, arguments string, iteration int) (protocol.HistoryEntry, error) {
+func runConfigTool(ctx context.Context, opts TuningOptions, arguments string, iteration int) (protocol.HistoryEntry, error) {
 	var args struct {
 		Config    map[string]int64  `json:"config"`
 		Rationale map[string]string `json:"rationale"`
@@ -200,7 +209,7 @@ func runConfigTool(opts TuningOptions, arguments string, iteration int) (protoco
 	for k, v := range args.Config {
 		cfg[k] = v
 	}
-	entry, err := opts.Runner.Run(cfg, args.Rationale)
+	entry, err := opts.Runner.Run(ctx, cfg, args.Rationale)
 	if err != nil {
 		return protocol.HistoryEntry{}, err
 	}
@@ -221,7 +230,7 @@ func bestEntry(history []protocol.HistoryEntry) protocol.HistoryEntry {
 
 // reflect runs the Reflect & Summarize step, asking the model to distil
 // rules from the best configuration and merge them with the global set.
-func reflect(opts TuningOptions, res *TuningResult) (*rules.Set, error) {
+func reflect(ctx context.Context, opts TuningOptions, res *TuningResult) (*rules.Set, error) {
 	feats := protocol.Features{}
 	if fsec, ok := protocol.ExtractSection(opts.Report+"\n### END\n", protocol.SecFeatures); ok {
 		if block, ok := protocol.FindJSONBlock(fsec); ok {
@@ -246,7 +255,7 @@ func reflect(opts TuningOptions, res *TuningResult) (*rules.Set, error) {
 				"the application; make general recommendations tied to the observed I/O behaviour. "+
 				"Merge with the existing rules: remove direct contradictions, keep differing but "+
 				"compatible guidance as alternatives.")
-	resp, err := chat(opts.Client, "tuning-agent", &llm.Request{
+	resp, err := chat(ctx, opts.Client, "tuning-agent", &llm.Request{
 		Model:    opts.Model,
 		System:   protocol.SysReflect,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: prompt}},

@@ -2,10 +2,19 @@
 // the online agentic tuning loop, the rule-set accumulation, and the
 // paper's evaluation hygiene protocol (reset, remount, repeat, average)
 // on top of the simulated Lustre platform.
+//
+// The engine is safe for concurrent use: all per-run mutable state (the
+// procfs parameter tree, the cost meter, the agent transcripts) is created
+// per call, the accumulated rule set is published copy-on-write behind an
+// atomic pointer, and every entry point takes a context.Context that
+// cancels the run promptly.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"stellar/internal/agents"
 	"stellar/internal/cluster"
@@ -14,6 +23,7 @@ import (
 	"stellar/internal/lustre"
 	"stellar/internal/manual"
 	"stellar/internal/params"
+	"stellar/internal/pool"
 	"stellar/internal/procfs"
 	"stellar/internal/protocol"
 	"stellar/internal/rag"
@@ -32,24 +42,33 @@ type Options struct {
 	MaxAttempts   int     // configuration trials per tuning run (paper: 5)
 	Seed          int64
 
+	// Parallel bounds the worker pool Evaluate fans its repetitions over.
+	// <= 1 runs strictly serially; higher values scale with cores. Per-rep
+	// seeds are fixed by index, so results are bit-identical either way.
+	Parallel int
+
 	// Ablation switches (§5.4).
 	DisableDescriptions bool // strip RAG-extracted descriptions (keep ranges)
 	DisableAnalysis     bool // remove the Analysis Agent entirely
 }
 
-// Engine is a configured STELLAR instance bound to one cluster.
+// Engine is a configured STELLAR instance bound to one cluster. One engine
+// can serve concurrent Evaluate and Tune calls: nothing here is mutated
+// mid-run except the rule-set pointer, which is swapped atomically.
 type Engine struct {
-	opts    Options
-	reg     *params.Registry
-	tree    *procfs.Tree
-	client  llm.Client
-	meter   *llm.Meter
+	opts   Options
+	reg    *params.Registry
+	client llm.Client
+
+	mu      sync.Mutex // guards tunable
 	tunable []*protocol.TunableParam
-	rules   *rules.Set
+
+	rules atomic.Pointer[rules.Set]
 }
 
 // New creates an engine. client is the LLM backend (simllm offline, or an
-// httpllm client online); it is wrapped in a Meter for cost accounting.
+// httpllm client online); each run wraps it in its own Meter for cost
+// accounting.
 func New(client llm.Client, opts Options) *Engine {
 	if opts.Scale == 0 {
 		opts.Scale = workload.DefaultScale
@@ -57,51 +76,64 @@ func New(client llm.Client, opts Options) *Engine {
 	if opts.MaxAttempts == 0 {
 		opts.MaxAttempts = 5
 	}
-	reg := params.Lustre()
-	return &Engine{
+	e := &Engine{
 		opts:   opts,
-		reg:    reg,
-		tree:   procfs.New(reg),
+		reg:    params.Lustre(),
 		client: client,
-		meter:  llm.NewMeter(client),
-		rules:  &rules.Set{},
 	}
+	e.rules.Store(&rules.Set{})
+	return e
 }
 
 // Registry exposes the parameter registry.
 func (e *Engine) Registry() *params.Registry { return e.reg }
 
-// Rules returns the current global rule set.
-func (e *Engine) Rules() *rules.Set { return e.rules }
+// Rules returns the current global rule set. The returned set is a
+// published snapshot: readers may use it freely but must not mutate it.
+func (e *Engine) Rules() *rules.Set { return e.rules.Load() }
 
 // SetRules replaces the global rule set (e.g. to reset between scenarios).
 func (e *Engine) SetRules(s *rules.Set) {
 	if s == nil {
 		s = &rules.Set{}
 	}
-	e.rules = s
+	e.rules.Store(s)
 }
 
 // Tunables returns the offline phase's extracted parameters, running the
-// extraction on first use.
-func (e *Engine) Tunables() ([]*protocol.TunableParam, error) {
+// extraction on first use. The extraction is single-flight: the mutex is
+// held across the whole run, so concurrent first callers wait for one
+// extraction instead of each paying for their own (a real concern against
+// a paid inference endpoint).
+func (e *Engine) Tunables(ctx context.Context) ([]*protocol.TunableParam, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.tunable != nil {
 		return e.tunable, nil
 	}
-	_, err := e.Offline()
-	return e.tunable, err
+	if _, err := e.offlineLocked(ctx); err != nil {
+		return nil, err
+	}
+	return e.tunable, nil
 }
 
 // Offline runs the RAG-based parameter extraction (§4.2): chunk the manual,
 // build the vector index, filter writable parameters, extract definitions
-// and ranges, and keep only the high-impact tunables.
-func (e *Engine) Offline() (*rag.ExtractorReport, error) {
+// and ranges, and keep only the high-impact tunables. Calling it always
+// re-runs the extraction (refreshing the cache Tunables serves from).
+func (e *Engine) Offline(ctx context.Context) (*rag.ExtractorReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.offlineLocked(ctx)
+}
+
+func (e *Engine) offlineLocked(ctx context.Context) (*rag.ExtractorReport, error) {
 	text := manual.FullText(e.reg)
 	chunks := rag.ChunkText(text, 1024, 20)
 	emb := rag.NewHashedTFIDF(384, chunks)
 	index := rag.NewIndex(emb, chunks)
-	ex := &rag.Extractor{Index: index, Client: e.meter, Model: e.opts.ExtractModel, TopK: 20}
-	tunables, report, err := ex.ExtractAll(e.tree)
+	ex := &rag.Extractor{Index: index, Client: llm.NewMeter(e.client), Model: e.opts.ExtractModel, TopK: 20}
+	tunables, report, err := ex.ExtractAll(ctx, procfs.New(e.reg))
 	if err != nil {
 		return nil, fmt.Errorf("core: offline extraction: %w", err)
 	}
@@ -117,39 +149,50 @@ type RunOutcome struct {
 
 // execute runs the workload under cfg with the between-runs hygiene
 // protocol (fresh file system state, caches, and mounts — a fresh
-// simulator instance gives exactly that).
-func (e *Engine) execute(w *workload.Workload, cfg params.Config, seed int64, sink lustre.TraceSink) (*RunOutcome, error) {
+// simulator instance gives exactly that). The parameter tree is created
+// per call, so concurrent executions never share mutable state.
+func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.Config, seed int64, sink lustre.TraceSink) (*RunOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tree := procfs.New(e.reg)
 	full := params.DefaultConfig(e.reg)
 	for k, v := range cfg {
 		full[k] = v
 	}
-	if err := e.tree.Apply(full); err != nil {
+	if err := tree.Apply(full); err != nil {
 		return nil, err
 	}
 	res, err := lustre.Run(w, lustre.Options{
-		Spec: e.opts.Spec, Config: e.tree.Snapshot(), Seed: seed, Trace: sink,
+		Spec: e.opts.Spec, Config: tree.Snapshot(), Seed: seed, Trace: sink,
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.tree.ResetDefaults()
 	return &RunOutcome{WallTime: res.WallTime, Result: res}, nil
 }
 
 // Evaluate measures a configuration over reps repetitions with distinct
-// seeds, as the paper's eight-run averaging does.
-func (e *Engine) Evaluate(workloadName string, cfg params.Config, reps int, seedBase int64) (stats.Summary, error) {
+// seeds, as the paper's eight-run averaging does. Repetitions fan out over
+// a worker pool bounded by Options.Parallel; each rep's seed is a pure
+// function of its index and each result lands in its own slot, so the
+// summary is bit-identical to a serial run.
+func (e *Engine) Evaluate(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) (stats.Summary, error) {
 	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
 	if err != nil {
 		return stats.Summary{}, err
 	}
-	var walls []float64
-	for i := 0; i < reps; i++ {
-		out, err := e.execute(w, cfg, seedBase+int64(i)*101, nil)
+	walls := make([]float64, reps)
+	err = pool.Map(ctx, e.opts.Parallel, reps, func(ctx context.Context, i int) error {
+		out, err := e.execute(ctx, w, cfg, seedBase+int64(i)*101, nil)
 		if err != nil {
-			return stats.Summary{}, err
+			return err
 		}
-		walls = append(walls, out.WallTime)
+		walls[i] = out.WallTime
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
 	return stats.Summarize(walls), nil
 }
@@ -180,17 +223,20 @@ func (r *TuneResult) Speedups() []float64 {
 }
 
 // runnerFunc adapts a closure to agents.Runner.
-type runnerFunc func(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
+type runnerFunc func(ctx context.Context, cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error)
 
-func (f runnerFunc) Run(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
-	return f(cfg, rationale)
+func (f runnerFunc) Run(ctx context.Context, cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+	return f(ctx, cfg, rationale)
 }
 
 // Tune performs one complete Tuning Run on the named workload: initial
 // default execution with Darshan tracing, Analysis Agent report, the
-// Tuning Agent's trial-and-error loop, and rule-set accumulation.
-func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
-	tunables, err := e.Tunables()
+// Tuning Agent's trial-and-error loop, and rule-set accumulation. All
+// run-local state (meter, agents, iteration counter) lives on the stack,
+// so concurrent Tune calls on one engine are safe; the merged rule set is
+// republished copy-on-write, last writer wins.
+func (e *Engine) Tune(ctx context.Context, workloadName string) (*TuneResult, error) {
+	tunables, err := e.Tunables(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -198,9 +244,9 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Fresh cost-accounting lineage per tuning run.
-	e.meter.Reset("tuning-agent")
-	e.meter.Reset("analysis-agent")
+	// A fresh meter per tuning run: cost-accounting lineage starts clean
+	// and concurrent runs never interleave their session statistics.
+	meter := llm.NewMeter(e.client)
 
 	seed := e.opts.Seed
 	if seed == 0 {
@@ -210,7 +256,7 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 	// Initial run with Darshan instrumentation.
 	collector := darshan.NewCollector(w.Interface)
 	defaults := params.DefaultConfig(e.reg)
-	initial, err := e.execute(w, defaults, seed, collector)
+	initial, err := e.execute(ctx, w, defaults, seed, collector)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial run: %w", err)
 	}
@@ -221,13 +267,13 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 	report := ""
 	if !e.opts.DisableAnalysis {
 		analysis = &agents.AnalysisAgent{
-			Client: e.meter,
+			Client: meter,
 			Model:  e.opts.AnalysisModel,
 			Frames: log.Frames(),
 			Header: log.HeaderText(),
 			Docs:   log.ColumnDocs(),
 		}
-		report, _, err = analysis.InitialReport()
+		report, _, err = analysis.InitialReport(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: analysis report: %w", err)
 		}
@@ -239,9 +285,9 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 	}
 
 	iter := 0
-	runner := runnerFunc(func(cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
+	runner := runnerFunc(func(ctx context.Context, cfg params.Config, rationale map[string]string) (protocol.HistoryEntry, error) {
 		iter++
-		out, err := e.execute(w, cfg, seed+int64(iter)*31, nil)
+		out, err := e.execute(ctx, w, cfg, seed+int64(iter)*31, nil)
 		if err != nil {
 			return protocol.HistoryEntry{}, err
 		}
@@ -252,13 +298,17 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 		}, nil
 	})
 
-	tres, err := agents.RunTuning(agents.TuningOptions{
-		Client:   e.meter,
+	// The rule set used by this run is the snapshot published at start;
+	// Reflect & Summarize merges into a copy of it.
+	snapshot := e.rules.Load()
+
+	tres, err := agents.RunTuning(ctx, agents.TuningOptions{
+		Client:   meter,
 		Model:    e.opts.TuningModel,
 		Params:   agentParams,
 		Cluster:  e.opts.Spec.Describe(),
 		Report:   report,
-		Rules:    e.rules,
+		Rules:    snapshot,
 		Defaults: defaults,
 		InitialRun: protocol.HistoryEntry{
 			Iteration: 0,
@@ -272,9 +322,11 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Rule accumulation: the merged set becomes the new global set.
+	// Rule accumulation: the merged set becomes the new global set. The
+	// published set is a private clone, so readers holding the previous
+	// pointer — or the TuningResult's — never observe a half-merged set.
 	if tres.RuleSet != nil {
-		e.rules = tres.RuleSet
+		e.rules.Store(tres.RuleSet.Clone())
 	}
 
 	out := &TuneResult{
@@ -292,8 +344,8 @@ func (e *Engine) Tune(workloadName string) (*TuneResult, error) {
 		out.Analysis = analysis.Messages()
 	}
 	for _, s := range []string{"tuning-agent", "analysis-agent"} {
-		out.Usage[s] = e.meter.SessionUsage(s)
-		out.Requests[s] = e.meter.SessionRequests(s)
+		out.Usage[s] = meter.SessionUsage(s)
+		out.Requests[s] = meter.SessionRequests(s)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func testEngine(t *testing.T, opt func(*Options)) *Engine {
 
 func TestOfflineSelectsThirteen(t *testing.T) {
 	eng := testEngine(t, nil)
-	rep, err := eng.Offline()
+	rep, err := eng.Offline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestOfflineSelectsThirteen(t *testing.T) {
 	if len(rep.Selected) != len(want) {
 		t.Fatalf("selected %d, want %d: %v", len(rep.Selected), len(want), rep.Selected)
 	}
-	tunables, err := eng.Tunables()
+	tunables, err := eng.Tunables(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestOfflineSelectsThirteen(t *testing.T) {
 
 func TestTuneImprovesIOR(t *testing.T) {
 	eng := testEngine(t, nil)
-	res, err := eng.Tune("IOR_16M")
+	res, err := eng.Tune(context.Background(), "IOR_16M")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestTuneImprovesIOR(t *testing.T) {
 
 func TestTuneAccumulatesRulesAcrossWorkloads(t *testing.T) {
 	eng := testEngine(t, nil)
-	if _, err := eng.Tune("IOR_64K"); err != nil {
+	if _, err := eng.Tune(context.Background(), "IOR_64K"); err != nil {
 		t.Fatal(err)
 	}
 	n1 := eng.Rules().Len()
-	if _, err := eng.Tune("IOR_16M"); err != nil {
+	if _, err := eng.Tune(context.Background(), "IOR_16M"); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Rules().Len() <= n1 {
@@ -91,13 +92,13 @@ func TestTuneAccumulatesRulesAcrossWorkloads(t *testing.T) {
 
 func TestRulesImproveFirstGuess(t *testing.T) {
 	teacher := testEngine(t, nil)
-	if _, err := teacher.Tune("MDWorkbench_8K"); err != nil {
+	if _, err := teacher.Tune(context.Background(), "MDWorkbench_8K"); err != nil {
 		t.Fatal(err)
 	}
 	snapshot := teacher.Rules().JSON()
 
 	fresh := testEngine(t, nil)
-	without, err := fresh.Tune("MDWorkbench_2K")
+	without, err := fresh.Tune(context.Background(), "MDWorkbench_2K")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRulesImproveFirstGuess(t *testing.T) {
 		t.Fatal(err)
 	}
 	informed.SetRules(set)
-	with, err := informed.Tune("MDWorkbench_2K")
+	with, err := informed.Tune(context.Background(), "MDWorkbench_2K")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestRulesImproveFirstGuess(t *testing.T) {
 
 func TestAblationsDegrade(t *testing.T) {
 	full := testEngine(t, nil)
-	fres, err := full.Tune("MDWorkbench_8K")
+	fres, err := full.Tune(context.Background(), "MDWorkbench_8K")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestAblationsDegrade(t *testing.T) {
 	fullBest := bestOf(fres.Speedups())
 
 	noDesc := testEngine(t, func(o *Options) { o.DisableDescriptions = true })
-	dres, err := noDesc.Tune("MDWorkbench_8K")
+	dres, err := noDesc.Tune(context.Background(), "MDWorkbench_8K")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestAblationsDegrade(t *testing.T) {
 	}
 
 	noAn := testEngine(t, func(o *Options) { o.DisableAnalysis = true })
-	ares, err := noAn.Tune("MDWorkbench_8K")
+	ares, err := noAn.Tune(context.Background(), "MDWorkbench_8K")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestAblationsDegrade(t *testing.T) {
 
 func TestEvaluateRepeatsWithVariance(t *testing.T) {
 	eng := testEngine(t, nil)
-	s, err := eng.Evaluate("IOR_16M", params.DefaultConfig(eng.Registry()), 4, 99)
+	s, err := eng.Evaluate(context.Background(), "IOR_16M", params.DefaultConfig(eng.Registry()), 4, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestEvaluateRepeatsWithVariance(t *testing.T) {
 
 func TestCaseStudyTranscriptShape(t *testing.T) {
 	eng := testEngine(t, nil)
-	res, err := eng.Tune("MDWorkbench_8K")
+	res, err := eng.Tune(context.Background(), "MDWorkbench_8K")
 	if err != nil {
 		t.Fatal(err)
 	}

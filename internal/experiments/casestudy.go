@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -13,10 +14,10 @@ import (
 // MDWorkbench_8K tuning run — initial report, follow-up analysis, each
 // configuration with its rationale and observed result, the stop decision,
 // and a sample generated rule.
-func Fig10CaseStudy(c Config) (string, error) {
+func Fig10CaseStudy(ctx context.Context, c Config) (string, error) {
 	c = c.Defaults()
 	eng := newEngine(c, "", false, false)
-	res, err := eng.Tune("MDWorkbench_8K")
+	res, err := eng.Tune(ctx, "MDWorkbench_8K")
 	if err != nil {
 		return "", err
 	}

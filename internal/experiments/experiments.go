@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +22,14 @@ type Config struct {
 	Scale float64 // workload scale (DefaultScale reproduces the documented reduction)
 	Reps  int     // repetitions for averaged measurements (paper: 8)
 	Seed  int64
+
+	// Parallel bounds the worker pool independent experiment arms
+	// (workloads, ablation variants, tuning-agent models, sweep points)
+	// and evaluation repetitions fan out over. <= 1 reproduces the strict
+	// serial protocol; any value yields bit-identical tables because every
+	// arm's seeds are fixed by its index and rows are assembled in input
+	// order.
+	Parallel int
 }
 
 // Defaults fills unset fields with the paper's protocol.
@@ -40,6 +49,16 @@ func (c Config) Defaults() Config {
 	return c
 }
 
+// arm returns the config an individual fanned-out experiment arm runs
+// under: Parallel 1, because the arm itself already occupies one worker of
+// the figure-level pool. Without this, engines inside arms would fan their
+// Evaluate repetitions over a second Parallel-sized pool, squaring the
+// effective concurrency the flag promises to bound.
+func (c Config) arm() Config {
+	c.Parallel = 1
+	return c
+}
+
 // newEngine builds a STELLAR engine with the paper's model assignment
 // (Claude-3.7-Sonnet tuning, GPT-4o analysis and extraction).
 func newEngine(c Config, tuningModel string, disableDescs, disableAnalysis bool) *core.Engine {
@@ -54,6 +73,7 @@ func newEngine(c Config, tuningModel string, disableDescs, disableAnalysis bool)
 		Scale:               c.Scale,
 		Seed:                c.Seed,
 		MaxAttempts:         5,
+		Parallel:            c.Parallel,
 		DisableDescriptions: disableDescs,
 		DisableAnalysis:     disableAnalysis,
 	})
@@ -117,11 +137,12 @@ func fseries(sp []float64) string {
 	return strings.Join(parts, " ")
 }
 
-// Experiment is a named, runnable experiment.
+// Experiment is a named, runnable experiment. Run honours ctx: cancelling
+// it aborts the regeneration promptly with ctx.Err().
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func(Config) (*Table, error)
+	Run  func(context.Context, Config) (*Table, error)
 }
 
 // All lists the experiments in paper order. Figure 10 is textual and

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestAllAndLookup(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	tbl, err := Fig2Hallucination(unitCfg())
+	tbl, err := Fig2Hallucination(context.Background(), unitCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	tbl, err := Fig9ModelComparison(unitCfg())
+	tbl, err := Fig9ModelComparison(context.Background(), unitCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	tbl, err := Fig8Ablation(unitCfg())
+	tbl, err := Fig8Ablation(context.Background(), unitCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

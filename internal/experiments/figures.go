@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"stellar/internal/lustre"
 	"stellar/internal/manual"
 	"stellar/internal/params"
+	"stellar/internal/pool"
 	"stellar/internal/protocol"
 	"stellar/internal/rag"
 	"stellar/internal/rules"
@@ -26,8 +28,9 @@ import (
 // Fig2Hallucination asks three frontier models for llite.statahead_max from
 // memory and compares against STELLAR's RAG extraction (driven by the older
 // GPT-4o, as in the paper), scoring both definition and range against the
-// platform ground truth.
-func Fig2Hallucination(c Config) (*Table, error) {
+// platform ground truth. The three from-memory probes are independent, so
+// they fan out over the worker pool.
+func Fig2Hallucination(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	reg := params.Lustre()
 	truth, _ := reg.Get("llite.statahead_max")
@@ -48,9 +51,11 @@ func Fig2Hallucination(c Config) (*Table, error) {
 		return "NO"
 	}
 
-	for _, model := range []string{simllm.GPT45, simllm.Gemini25, simllm.Claude37} {
+	models := []string{simllm.GPT45, simllm.Gemini25, simllm.Claude37}
+	rows, err := pool.Values(ctx, c.Parallel, len(models), func(ctx context.Context, i int) ([]string, error) {
+		model := models[i]
 		client := simllm.New(model)
-		resp, err := client.Chat(&llm.Request{
+		resp, err := client.Complete(ctx, &llm.Request{
 			Model:  model,
 			System: protocol.SysParamQA,
 			Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(
@@ -67,11 +72,15 @@ func Fig2Hallucination(c Config) (*Table, error) {
 			return nil, fmt.Errorf("experiments: fig2 answer unparseable: %w", err)
 		}
 		rangeOK := j.Min == "0" && j.Max == "8192"
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			model + " (no RAG)", mark(scoreDef(j.Definition)), mark(rangeOK),
 			j.Min + " to " + j.Max, clip(j.Definition, 60),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 
 	// STELLAR's RAG-based extraction with GPT-4o.
 	text := manual.FullText(reg)
@@ -83,7 +92,7 @@ func Fig2Hallucination(c Config) (*Table, error) {
 		fmt.Fprintf(&sb, "[chunk %d]\n%s\n\n", i+1, h.Chunk.Text)
 	}
 	client := simllm.New(simllm.GPT4o)
-	resp, err := client.Chat(&llm.Request{
+	resp, err := client.Complete(ctx, &llm.Request{
 		Model:  simllm.GPT4o,
 		System: protocol.SysExtractJudge,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, truth.Name) +
@@ -122,16 +131,20 @@ func clip(s string, n int) string {
 // Fig5TuningPerformance tunes each benchmark from scratch (empty rule set,
 // at most 5 attempts) and measures default, expert, and STELLAR-best
 // configurations over c.Reps repetitions with 90% confidence intervals.
-func Fig5TuningPerformance(c Config) (*Table, error) {
+// Each benchmark gets its own engine, so the per-benchmark arms run
+// concurrently.
+func Fig5TuningPerformance(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	t := &Table{
 		ID: "Figure 5", Title: "Wall time (s): default vs expert vs STELLAR (fresh, <=5 attempts)",
 		Columns: []string{"workload", "default", "expert", "STELLAR", "attempts", "vs default", "vs expert"},
 	}
 	reg := params.Lustre()
-	for _, name := range workload.Benchmarks() {
-		eng := newEngine(c, "", false, false)
-		res, err := eng.Tune(name)
+	names := workload.Benchmarks()
+	rows, err := pool.Values(ctx, c.Parallel, len(names), func(ctx context.Context, i int) ([]string, error) {
+		name := names[i]
+		eng := newEngine(c.arm(), "", false, false)
+		res, err := eng.Tune(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig5 %s: %w", name, err)
 		}
@@ -140,19 +153,19 @@ func Fig5TuningPerformance(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		defS, err := eng.Evaluate(name, defCfg, c.Reps, c.Seed+1000)
+		defS, err := eng.Evaluate(ctx, name, defCfg, c.Reps, c.Seed+1000)
 		if err != nil {
 			return nil, err
 		}
-		expS, err := eng.Evaluate(name, expCfg, c.Reps, c.Seed+1000)
+		expS, err := eng.Evaluate(ctx, name, expCfg, c.Reps, c.Seed+1000)
 		if err != nil {
 			return nil, err
 		}
-		stS, err := eng.Evaluate(name, res.BestCfg, c.Reps, c.Seed+1000)
+		stS, err := eng.Evaluate(ctx, name, res.BestCfg, c.Reps, c.Seed+1000)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%.3f±%.3f", defS.Mean, defS.CI90),
 			fmt.Sprintf("%.3f±%.3f", expS.Mean, expS.CI90),
@@ -160,8 +173,12 @@ func Fig5TuningPerformance(c Config) (*Table, error) {
 			fmt.Sprintf("%d", len(res.History)-1),
 			fmt.Sprintf("%.2fx", defS.Mean/stS.Mean),
 			fmt.Sprintf("%.2fx", expS.Mean/stS.Mean),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: STELLAR ~= expert everywhere, beats the expert on IO500, always within 5 attempts")
 	return t, nil
@@ -173,50 +190,68 @@ func Fig5TuningPerformance(c Config) (*Table, error) {
 
 // Fig6RuleSetInterpolation tunes all benchmarks without any rule set, then
 // re-tunes each with the accumulated global rule set applied, reporting the
-// per-iteration speedup series (iteration 0 = default run).
-func Fig6RuleSetInterpolation(c Config) (*Table, error) {
+// per-iteration speedup series (iteration 0 = default run). The "no rules"
+// arms and the phase-2 re-tunes are independent and run concurrently; only
+// the rule accumulation itself is inherently sequential (each run builds on
+// the previous run's rules) and stays ordered.
+func Fig6RuleSetInterpolation(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	t := &Table{
 		ID: "Figure 6", Title: "Speedup per iteration without / with the global Rule Set",
 		Columns: []string{"workload", "condition", "iterations", "speedup series", "best"},
 	}
-	// Phase 1: accumulate rules across all benchmarks on one engine. The
-	// first workload of each context class runs rule-free; later ones in
-	// the same class already interpolate, which is the mechanism under
-	// test, so the "no rules" condition uses a fresh engine per workload.
-	acc := newEngine(c, "", false, false)
-	noRules := map[string]*core.TuneResult{}
-	for _, name := range workload.Benchmarks() {
-		fresh := newEngine(c, "", false, false)
-		res, err := fresh.Tune(name)
+	names := workload.Benchmarks()
+
+	// Phase 1a: the "no rules" condition uses a fresh engine per workload
+	// (the first workload of each context class would otherwise already
+	// interpolate); the arms are independent.
+	noRules, err := pool.Values(ctx, c.Parallel, len(names), func(ctx context.Context, i int) (*core.TuneResult, error) {
+		fresh := newEngine(c.arm(), "", false, false)
+		res, err := fresh.Tune(ctx, names[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 no-rules %s: %w", name, err)
+			return nil, fmt.Errorf("experiments: fig6 no-rules %s: %w", names[i], err)
 		}
-		noRules[name] = res
-		if _, err := acc.Tune(name); err != nil {
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1b: accumulate rules across all benchmarks on one engine, in
+	// the paper's order — later runs build on earlier runs' rules.
+	acc := newEngine(c, "", false, false)
+	for _, name := range names {
+		if _, err := acc.Tune(ctx, name); err != nil {
 			return nil, fmt.Errorf("experiments: fig6 accumulate %s: %w", name, err)
 		}
 	}
 	ruleJSON := acc.Rules().JSON()
 
 	// Phase 2: re-tune each benchmark with the full accumulated set.
-	for _, name := range workload.Benchmarks() {
-		withEng := newEngine(c, "", false, false)
+	withRes, err := pool.Values(ctx, c.Parallel, len(names), func(ctx context.Context, i int) (*core.TuneResult, error) {
+		withEng := newEngine(c.arm(), "", false, false)
 		set, err := rules.Parse(ruleJSON)
 		if err != nil {
 			return nil, err
 		}
 		withEng.SetRules(set)
-		withRes, err := withEng.Tune(name)
+		res, err := withEng.Tune(ctx, names[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 phase2 %s: %w", name, err)
+			return nil, fmt.Errorf("experiments: fig6 phase2 %s: %w", names[i], err)
 		}
-		nr := noRules[name]
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, name := range names {
+		nr, wr := noRules[i], withRes[i]
 		t.Rows = append(t.Rows,
 			[]string{name, "no rules", fmt.Sprintf("%d", len(nr.History)-1),
 				fseries(nr.Speedups()), fmt.Sprintf("%.2fx", maxOf(nr.Speedups()))},
-			[]string{name, "with rules", fmt.Sprintf("%d", len(withRes.History)-1),
-				fseries(withRes.Speedups()), fmt.Sprintf("%.2fx", maxOf(withRes.Speedups()))},
+			[]string{name, "with rules", fmt.Sprintf("%d", len(wr.History)-1),
+				fseries(wr.Speedups()), fmt.Sprintf("%.2fx", maxOf(wr.Speedups()))},
 		)
 	}
 	t.Notes = append(t.Notes,
@@ -239,8 +274,10 @@ func maxOf(xs []float64) float64 {
 // ----------------------------------------------------------------------
 
 // Fig7RuleSetExtrapolation learns rules from the benchmarks only, then
-// tunes the real applications with and without that rule set.
-func Fig7RuleSetExtrapolation(c Config) (*Table, error) {
+// tunes the real applications with and without that rule set. The rule
+// accumulation stays ordered; the per-application with/without arms run
+// concurrently.
+func Fig7RuleSetExtrapolation(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	t := &Table{
 		ID: "Figure 7", Title: "Real applications: speedup per iteration without / with benchmark-learned rules",
@@ -248,34 +285,42 @@ func Fig7RuleSetExtrapolation(c Config) (*Table, error) {
 	}
 	acc := newEngine(c, "", false, false)
 	for _, name := range workload.Benchmarks() {
-		if _, err := acc.Tune(name); err != nil {
+		if _, err := acc.Tune(ctx, name); err != nil {
 			return nil, fmt.Errorf("experiments: fig7 benchmark %s: %w", name, err)
 		}
 	}
 	ruleJSON := acc.Rules().JSON()
 
-	for _, name := range workload.RealApps() {
-		fresh := newEngine(c, "", false, false)
-		without, err := fresh.Tune(name)
+	apps := workload.RealApps()
+	rows, err := pool.Values(ctx, c.Parallel, len(apps), func(ctx context.Context, i int) ([][]string, error) {
+		name := apps[i]
+		fresh := newEngine(c.arm(), "", false, false)
+		without, err := fresh.Tune(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig7 %s without rules: %w", name, err)
 		}
-		withEng := newEngine(c, "", false, false)
+		withEng := newEngine(c.arm(), "", false, false)
 		set, err := rules.Parse(ruleJSON)
 		if err != nil {
 			return nil, err
 		}
 		withEng.SetRules(set)
-		with, err := withEng.Tune(name)
+		with, err := withEng.Tune(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig7 %s with rules: %w", name, err)
 		}
-		t.Rows = append(t.Rows,
-			[]string{name, "no rules", fmt.Sprintf("%d", len(without.History)-1),
+		return [][]string{
+			{name, "no rules", fmt.Sprintf("%d", len(without.History)-1),
 				fseries(without.Speedups()), fmt.Sprintf("%.2fx", maxOf(without.Speedups()))},
-			[]string{name, "benchmark rules", fmt.Sprintf("%d", len(with.History)-1),
+			{name, "benchmark rules", fmt.Sprintf("%d", len(with.History)-1),
 				fseries(with.Speedups()), fmt.Sprintf("%.2fx", maxOf(with.Speedups()))},
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range rows {
+		t.Rows = append(t.Rows, pair...)
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: rules learned on benchmarks transfer: more stable convergence, worst configs avoided")
@@ -288,8 +333,8 @@ func Fig7RuleSetExtrapolation(c Config) (*Table, error) {
 
 // Fig8Ablation compares full STELLAR against No Descriptions (RAG
 // descriptions removed, ranges kept) and No Analysis (Analysis Agent
-// removed) on MDWorkbench_8K.
-func Fig8Ablation(c Config) (*Table, error) {
+// removed) on MDWorkbench_8K. The three variants are independent arms.
+func Fig8Ablation(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	t := &Table{
 		ID: "Figure 8", Title: "Ablations on MDWorkbench_8K: speedup per iteration",
@@ -303,17 +348,22 @@ func Fig8Ablation(c Config) (*Table, error) {
 		{"No Descriptions", true, false},
 		{"No Analysis", false, true},
 	}
-	for _, v := range variants {
-		eng := newEngine(c, "", v.noDesc, v.noAnaly)
-		res, err := eng.Tune("MDWorkbench_8K")
+	rows, err := pool.Values(ctx, c.Parallel, len(variants), func(ctx context.Context, i int) ([]string, error) {
+		v := variants[i]
+		eng := newEngine(c.arm(), "", v.noDesc, v.noAnaly)
+		res, err := eng.Tune(ctx, "MDWorkbench_8K")
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig8 %s: %w", v.name, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name, fmt.Sprintf("%d", len(res.History)-1),
 			fseries(res.Speedups()), fmt.Sprintf("%.2fx", maxOf(res.Speedups())),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: both ablations fail to significantly beat the default",
 		"No Descriptions: stripe-count misinterpretation; No Analysis: readahead/RPC-size misguesses")
@@ -325,24 +375,30 @@ func Fig8Ablation(c Config) (*Table, error) {
 // ----------------------------------------------------------------------
 
 // Fig9ModelComparison tunes IOR_16M (the paper's IOR_large) with three
-// models acting as the Tuning Agent.
-func Fig9ModelComparison(c Config) (*Table, error) {
+// models acting as the Tuning Agent, one independent arm per model.
+func Fig9ModelComparison(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	t := &Table{
 		ID: "Figure 9", Title: "IOR_16M tuned by different models (<=5 iterations)",
 		Columns: []string{"tuning agent", "iterations", "speedup series", "best"},
 	}
-	for _, model := range []string{simllm.Claude37, simllm.GPT4o, simllm.Llama3170} {
-		eng := newEngine(c, model, false, false)
-		res, err := eng.Tune("IOR_16M")
+	models := []string{simllm.Claude37, simllm.GPT4o, simllm.Llama3170}
+	rows, err := pool.Values(ctx, c.Parallel, len(models), func(ctx context.Context, i int) ([]string, error) {
+		model := models[i]
+		eng := newEngine(c.arm(), model, false, false)
+		res, err := eng.Tune(ctx, "IOR_16M")
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig9 %s: %w", model, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			model, fmt.Sprintf("%d", len(res.History)-1),
 			fseries(res.Speedups()), fmt.Sprintf("%.2fx", maxOf(res.Speedups())),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"paper shape: all models reach similar significant speedups (paper reports up to x4.91)")
 	return t, nil
@@ -354,10 +410,10 @@ func Fig9ModelComparison(c Config) (*Table, error) {
 
 // CostTable reports per-agent token usage and prompt-cache hit rates for a
 // complete MDWorkbench_8K tuning run.
-func CostTable(c Config) (*Table, error) {
+func CostTable(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	eng := newEngine(c, "", false, false)
-	res, err := eng.Tune("MDWorkbench_8K")
+	res, err := eng.Tune(ctx, "MDWorkbench_8K")
 	if err != nil {
 		return nil, err
 	}
@@ -385,11 +441,12 @@ func CostTable(c Config) (*Table, error) {
 
 // IterationCost contrasts STELLAR's attempt count with random search,
 // coordinate descent, and simulated annealing reaching comparable
-// performance on IOR_16M.
-func IterationCost(c Config) (*Table, error) {
+// performance on IOR_16M. The baseline searches are inherently sequential
+// (each step depends on the previous evaluation), so only ctx is threaded.
+func IterationCost(ctx context.Context, c Config) (*Table, error) {
 	c = c.Defaults()
 	eng := newEngine(c, "", false, false)
-	res, err := eng.Tune("IOR_16M")
+	res, err := eng.Tune(ctx, "IOR_16M")
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +462,9 @@ func IterationCost(c Config) (*Table, error) {
 	}
 	evals := 0
 	eval := func(cfg params.Config) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		evals++
 		out, err := lustre.Run(w, lustre.Options{Spec: c.Spec, Config: cfg, Seed: c.Seed + int64(evals)})
 		if err != nil {

@@ -18,20 +18,25 @@ import (
 )
 
 // Client talks to an OpenAI-compatible /v1/chat/completions endpoint.
+// Timeouts and cancellation are context-driven: every attempt runs under
+// the caller's ctx bounded by RequestTimeout, so a cancelled tuning run
+// tears down its in-flight HTTP request instead of waiting it out.
 type Client struct {
-	BaseURL    string // e.g. "https://api.openai.com/v1"
-	APIKey     string
-	HTTPClient *http.Client
-	MaxRetries int
+	BaseURL        string // e.g. "https://api.openai.com/v1"
+	APIKey         string
+	HTTPClient     *http.Client
+	MaxRetries     int
+	RequestTimeout time.Duration // per-attempt bound; 0 disables it
 }
 
 // New creates a client with sane defaults.
 func New(baseURL, apiKey string) *Client {
 	return &Client{
-		BaseURL:    baseURL,
-		APIKey:     apiKey,
-		HTTPClient: &http.Client{Timeout: 120 * time.Second},
-		MaxRetries: 2,
+		BaseURL:        baseURL,
+		APIKey:         apiKey,
+		HTTPClient:     &http.Client{},
+		MaxRetries:     2,
+		RequestTimeout: 120 * time.Second,
 	}
 }
 
@@ -80,13 +85,8 @@ type wireResponse struct {
 	} `json:"error"`
 }
 
-// Chat implements llm.Client.
-func (c *Client) Chat(req *llm.Request) (*llm.Response, error) {
-	return c.ChatContext(context.Background(), req)
-}
-
-// ChatContext is Chat with cancellation.
-func (c *Client) ChatContext(ctx context.Context, req *llm.Request) (*llm.Response, error) {
+// Complete implements llm.Client.
+func (c *Client) Complete(ctx context.Context, req *llm.Request) (*llm.Response, error) {
 	wr := wireRequest{Model: req.Model, Temperature: req.Temperature}
 	if req.System != "" {
 		wr.Messages = append(wr.Messages, wireMessage{Role: "system", Content: req.System})
@@ -119,6 +119,9 @@ func (c *Client) ChatContext(ctx context.Context, req *llm.Request) (*llm.Respon
 		if err == nil {
 			return resp, nil
 		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		lastErr = err
 		select {
 		case <-ctx.Done():
@@ -130,6 +133,11 @@ func (c *Client) ChatContext(ctx context.Context, req *llm.Request) (*llm.Respon
 }
 
 func (c *Client) do(ctx context.Context, body []byte) (*llm.Response, error) {
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+"/chat/completions", bytes.NewReader(body))
 	if err != nil {

@@ -1,6 +1,7 @@
 package httpllm
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -32,7 +33,7 @@ func TestChatSuccessWithToolCall(t *testing.T) {
 	}`)
 	defer srv.Close()
 	c := New(srv.URL, "key123")
-	resp, err := c.Chat(&llm.Request{
+	resp, err := c.Complete(context.Background(), &llm.Request{
 		Model:  "gpt-4o",
 		System: "sys",
 		Messages: []llm.Message{
@@ -63,7 +64,7 @@ func TestWireRequestShape(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := New(srv.URL, "")
-	_, err := c.Chat(&llm.Request{
+	_, err := c.Complete(context.Background(), &llm.Request{
 		Model: "m", System: "s",
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: "hi"}},
 		Tools:    []llm.ToolDef{{Name: "t", Schema: `{"type":"object"}`}},
@@ -87,21 +88,21 @@ func TestErrorPaths(t *testing.T) {
 	defer srv.Close()
 	c := New(srv.URL, "key123")
 	c.MaxRetries = 0
-	if _, err := c.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+	if _, err := c.Complete(context.Background(), &llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
 		t.Fatal("500 not reported")
 	}
 
 	srv2 := stubServer(t, 200, `{"choices": []}`)
 	defer srv2.Close()
 	c2 := New(srv2.URL, "key123")
-	if _, err := c2.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+	if _, err := c2.Complete(context.Background(), &llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
 		t.Fatal("empty choices not reported")
 	}
 
 	srv3 := stubServer(t, 200, `{"error": {"message": "quota"}, "choices": [{"message":{"role":"assistant","content":"x"}}]}`)
 	defer srv3.Close()
 	c3 := New(srv3.URL, "key123")
-	if _, err := c3.Chat(&llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
+	if _, err := c3.Complete(context.Background(), &llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}); err == nil {
 		t.Fatal("embedded api error not reported")
 	}
 }

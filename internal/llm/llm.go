@@ -6,8 +6,10 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Role identifies a message author.
@@ -80,9 +82,13 @@ type Response struct {
 	Model   string
 }
 
-// Client is the minimal chat interface agents depend on.
+// Client is the minimal completion interface agents depend on. Every
+// backend honours ctx: cancellation aborts the call promptly with ctx.Err()
+// (httpllm cancels the in-flight HTTP request; simllm checks before
+// answering), which is what lets a SIGINT unwind a whole tuning run.
+// Implementations must be safe for concurrent use.
 type Client interface {
-	Chat(req *Request) (*Response, error)
+	Complete(ctx context.Context, req *Request) (*Response, error)
 }
 
 // CountTokens estimates token count with the conventional ~4 chars/token
@@ -132,9 +138,14 @@ func ResponseTokens(m *Message) int {
 // Meter wraps a Client with usage accounting and prompt-cache simulation.
 // Like real inference services, consecutive requests in one conversation
 // share a key-value cache for their common prefix; Meter measures that
-// overlap per logical session.
+// overlap per logical session. All session accounting is mutex-guarded so
+// concurrent agent sessions (parallel tuning runs, parallel figure arms)
+// never race; sessions are independent lineages, so concurrency across
+// sessions does not perturb any session's cache statistics.
 type Meter struct {
-	inner    Client
+	inner Client
+
+	mu       sync.Mutex
 	lastSer  map[string]string // session -> previous serialized request
 	totals   map[string]*Usage
 	requests map[string]int
@@ -150,15 +161,17 @@ func NewMeter(inner Client) *Meter {
 	}
 }
 
-// ChatSession performs a chat call attributed to the named session (e.g.
-// "tuning-agent", "analysis-agent").
-func (m *Meter) ChatSession(session string, req *Request) (*Response, error) {
-	resp, err := m.inner.Chat(req)
+// CompleteSession performs a completion attributed to the named session
+// (e.g. "tuning-agent", "analysis-agent").
+func (m *Meter) CompleteSession(ctx context.Context, session string, req *Request) (*Response, error) {
+	resp, err := m.inner.Complete(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	ser := serialize(req)
 	in := CountTokens(ser)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cached := CountTokens(commonPrefix(m.lastSer[session], ser))
 	if cached > in {
 		cached = in
@@ -179,13 +192,15 @@ func (m *Meter) ChatSession(session string, req *Request) (*Response, error) {
 	return resp, nil
 }
 
-// Chat implements Client, attributing to a default session.
-func (m *Meter) Chat(req *Request) (*Response, error) {
-	return m.ChatSession("default", req)
+// Complete implements Client, attributing to a default session.
+func (m *Meter) Complete(ctx context.Context, req *Request) (*Response, error) {
+	return m.CompleteSession(ctx, "default", req)
 }
 
 // SessionUsage returns accumulated usage for a session.
 func (m *Meter) SessionUsage(session string) Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if t, ok := m.totals[session]; ok {
 		return *t
 	}
@@ -193,10 +208,16 @@ func (m *Meter) SessionUsage(session string) Usage {
 }
 
 // SessionRequests returns the number of requests in a session.
-func (m *Meter) SessionRequests(session string) int { return m.requests[session] }
+func (m *Meter) SessionRequests(session string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[session]
+}
 
 // Sessions lists sessions with recorded usage.
 func (m *Meter) Sessions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []string
 	for k := range m.totals {
 		out = append(out, k)
@@ -206,6 +227,8 @@ func (m *Meter) Sessions() []string {
 
 // Reset clears a session's cache lineage and statistics.
 func (m *Meter) Reset(session string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	delete(m.lastSer, session)
 	delete(m.totals, session)
 	delete(m.requests, session)

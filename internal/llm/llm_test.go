@@ -1,13 +1,15 @@
 package llm
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 )
 
-type echoClient struct{ calls int }
+type echoClient struct{ calls atomic.Int64 }
 
-func (e *echoClient) Chat(req *Request) (*Response, error) {
-	e.calls++
+func (e *echoClient) Complete(ctx context.Context, req *Request) (*Response, error) {
+	e.calls.Add(1)
 	return &Response{Message: Message{Role: RoleAssistant, Content: "reply body here"}}, nil
 }
 
@@ -29,7 +31,7 @@ func TestMeterAccumulatesAndCaches(t *testing.T) {
 			{Role: RoleUser, Content: "a long shared prefix that stays identical across turns"},
 		},
 	}
-	r1, err := m.ChatSession("s", base)
+	r1, err := m.CompleteSession(context.Background(), "s", base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestMeterAccumulatesAndCaches(t *testing.T) {
 		Message{Role: RoleAssistant, Content: "reply body here"},
 		Message{Role: RoleUser, Content: "next question"},
 	)}
-	r2, err := m.ChatSession("s", ext)
+	r2, err := m.CompleteSession(context.Background(), "s", ext)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +71,14 @@ func TestMeterAccumulatesAndCaches(t *testing.T) {
 func TestMeterReset(t *testing.T) {
 	m := NewMeter(&echoClient{})
 	req := &Request{Messages: []Message{{Role: RoleUser, Content: "hello"}}}
-	if _, err := m.ChatSession("s", req); err != nil {
+	if _, err := m.CompleteSession(context.Background(), "s", req); err != nil {
 		t.Fatal(err)
 	}
 	m.Reset("s")
 	if m.SessionRequests("s") != 0 {
 		t.Fatal("reset did not clear")
 	}
-	r, _ := m.ChatSession("s", req)
+	r, _ := m.CompleteSession(context.Background(), "s", req)
 	if r.Usage.CacheReadInputTokens != 0 {
 		t.Fatal("cache lineage survived reset")
 	}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -33,9 +34,9 @@ func NewRecorder(inner Client) *Recorder {
 	return &Recorder{inner: inner}
 }
 
-// Chat implements Client, recording the exchange.
-func (r *Recorder) Chat(req *Request) (*Response, error) {
-	resp, err := r.inner.Chat(req)
+// Complete implements Client, recording the exchange.
+func (r *Recorder) Complete(ctx context.Context, req *Request) (*Response, error) {
+	resp, err := r.inner.Complete(ctx, req)
 	if err != nil {
 		return nil, err
 	}

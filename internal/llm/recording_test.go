@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -10,10 +11,10 @@ func TestRecorderCapturesExchanges(t *testing.T) {
 	r := NewRecorder(&echoClient{})
 	req := &Request{Model: "m", System: "s",
 		Messages: []Message{{Role: RoleUser, Content: "question"}}}
-	if _, err := r.Chat(req); err != nil {
+	if _, err := r.Complete(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Chat(req); err != nil {
+	if _, err := r.Complete(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	ex := r.Exchanges()
@@ -44,7 +45,7 @@ func TestRecorderConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = r.Chat(&Request{Messages: []Message{{Role: RoleUser, Content: "x"}}})
+			_, _ = r.Complete(context.Background(), &Request{Messages: []Message{{Role: RoleUser, Content: "x"}}})
 		}()
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package simllm
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -13,7 +14,7 @@ func askConfig(t *testing.T, model string, f *protocol.Features, hist []protocol
 	t.Helper()
 	c := New(model)
 	req := tuningFixture(f, true, hist, "{}")
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestLlamaSkipsSecondaryLevers(t *testing.T) {
 		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
 		llm.Message{Role: llm.RoleTool, ToolCallID: "q", Content: "answer"},
 	)
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestEscalationAfterSuccess(t *testing.T) {
 		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
 		llm.Message{Role: llm.RoleTool, ToolCallID: "q", Content: "answer"},
 	)
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestGiveUpWithoutImprovement(t *testing.T) {
 	}
 	f := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9}
 	c := New(Claude37)
-	resp, err := c.Chat(tuningFixture(f, true, hist, "{}"))
+	resp, err := c.Complete(context.Background(), tuningFixture(f, true, hist, "{}"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package simllm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -137,8 +138,15 @@ type Client struct {
 // New creates a client whose unspecified-model requests use model.
 func New(model string) *Client { return &Client{DefaultModel: model} }
 
-// Chat implements llm.Client by dispatching on the system-prompt marker.
-func (c *Client) Chat(req *llm.Request) (*llm.Response, error) {
+// Complete implements llm.Client by dispatching on the system-prompt
+// marker. The policies are pure functions of the request, so one Client is
+// safe for any number of concurrent sessions; ctx is honoured the way a
+// real endpoint would honour it — a cancelled request never produces a
+// response.
+func (c *Client) Complete(ctx context.Context, req *llm.Request) (*llm.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	model := req.Model
 	if model == "" {
 		model = c.DefaultModel

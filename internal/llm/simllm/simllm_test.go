@@ -1,6 +1,7 @@
 package simllm
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func TestFig2PriorPattern(t *testing.T) {
 
 func TestUnknownSystemPromptRejected(t *testing.T) {
 	c := New(GPT4o)
-	if _, err := c.Chat(&llm.Request{System: "You are a pirate."}); err == nil {
+	if _, err := c.Complete(context.Background(), &llm.Request{System: "You are a pirate."}); err == nil {
 		t.Fatal("unknown system prompt accepted")
 	}
 }
@@ -48,7 +49,7 @@ func TestExtractJudgeReadsOnlyChunks(t *testing.T) {
 	chunks := "Parameter fake.param. It controls widget flux and raises bandwidth. " +
 		"The valid range of fake.param is 1 to 99. The default value is 7. " +
 		"To change the value at runtime, write to /x."
-	resp, err := c.Chat(&llm.Request{
+	resp, err := c.Complete(context.Background(), &llm.Request{
 		System: protocol.SysExtractJudge,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "fake.param") +
 			protocol.Section(protocol.SecChunks, chunks)}},
@@ -65,7 +66,7 @@ func TestExtractJudgeReadsOnlyChunks(t *testing.T) {
 		t.Fatalf("judgment = %+v", j)
 	}
 	// Without the section in the chunks, the judge must refuse.
-	resp, _ = c.Chat(&llm.Request{
+	resp, _ = c.Complete(context.Background(), &llm.Request{
 		System: protocol.SysExtractJudge,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "fake.param") +
 			protocol.Section(protocol.SecChunks, "unrelated text about lustre striping")}},
@@ -81,7 +82,7 @@ func TestExtractJudgeBinaryDetection(t *testing.T) {
 	c := New(GPT4o)
 	chunks := "Parameter osc.checksums. Enables checksums. " +
 		"The parameter osc.checksums is a binary switch. The valid range is 0 to 1. The default value is 1."
-	resp, err := c.Chat(&llm.Request{
+	resp, err := c.Complete(context.Background(), &llm.Request{
 		System: protocol.SysExtractJudge,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "osc.checksums") +
 			protocol.Section(protocol.SecChunks, chunks)}},
@@ -100,7 +101,7 @@ func TestExtractJudgeBinaryDetection(t *testing.T) {
 func TestImportanceJudgment(t *testing.T) {
 	c := New(GPT4o)
 	ask := func(impact string) bool {
-		resp, err := c.Chat(&llm.Request{
+		resp, err := c.Complete(context.Background(), &llm.Request{
 			System: protocol.SysImportance,
 			Messages: []llm.Message{{Role: llm.RoleUser, Content: protocol.Section(protocol.SecParam, "p") +
 				"Definition: d\nImpact: " + impact}},
@@ -174,7 +175,7 @@ func metaFeatures() *protocol.Features {
 func TestTuningFirstMoveAsksAnalysisOnMetadata(t *testing.T) {
 	c := New(Claude37)
 	hist := []protocol.HistoryEntry{{Iteration: 0, Config: map[string]int64{"osc.max_rpcs_in_flight": 8}, WallTime: 10}}
-	resp, err := c.Chat(tuningFixture(metaFeatures(), true, hist, "{}"))
+	resp, err := c.Complete(context.Background(), tuningFixture(metaFeatures(), true, hist, "{}"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestTuningProposesMetadataConfig(t *testing.T) {
 		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
 		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio is 4.0"},
 	)
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestTuningHallucinatesWithoutDescriptions(t *testing.T) {
 		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
 		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio"},
 	)
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestTuningStopsOnDiminishingReturns(t *testing.T) {
 		{Iteration: 2, Config: map[string]int64{"osc.max_rpcs_in_flight": 64}, WallTime: 4.99},
 	}
 	seq := &protocol.Features{Dominant: "write", AvgWriteKB: 16384, SeqWriteFrac: 0.9}
-	resp, err := c.Chat(tuningFixture(seq, true, hist, "{}"))
+	resp, err := c.Complete(context.Background(), tuningFixture(seq, true, hist, "{}"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestTuningAppliesRulesFirst(t *testing.T) {
 		llm.Message{Role: llm.RoleAssistant, ToolCalls: []llm.ToolCall{{ID: "q1", Name: protocol.ToolAnalysis, Arguments: `{"question":"x"}`}}},
 		llm.Message{Role: llm.RoleTool, ToolCallID: "q1", Content: "ratio"},
 	)
-	resp, err := c.Chat(req)
+	resp, err := c.Complete(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestReflectProducesMergedRules(t *testing.T) {
 			{"param":"lov.stripe_size","value":1048576,"default":1048576}]`) +
 		protocol.Section(protocol.SecRules, "{}") +
 		protocol.Section("INSTRUCTIONS", "summarize")
-	resp, err := c.Chat(&llm.Request{
+	resp, err := c.Complete(context.Background(), &llm.Request{
 		System:   protocol.SysReflect,
 		Messages: []llm.Message{{Role: llm.RoleUser, Content: prompt}},
 	})

@@ -1,6 +1,7 @@
 package rag
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -40,7 +41,7 @@ func Query(param string) string {
 // impact statement, and valid range; then asks the importance assessor to
 // keep only high-impact parameters. Binary parameters are excluded as user
 // trade-offs.
-func (e *Extractor) ExtractAll(tree *procfs.Tree) ([]*protocol.TunableParam, *ExtractorReport, error) {
+func (e *Extractor) ExtractAll(ctx context.Context, tree *procfs.Tree) ([]*protocol.TunableParam, *ExtractorReport, error) {
 	topK := e.TopK
 	if topK <= 0 {
 		topK = 20
@@ -52,7 +53,7 @@ func (e *Extractor) ExtractAll(tree *procfs.Tree) ([]*protocol.TunableParam, *Ex
 
 	var out []*protocol.TunableParam
 	for _, name := range names {
-		j, err := e.judge(name, topK)
+		j, err := e.judge(ctx, name, topK)
 		if err != nil {
 			return nil, nil, fmt.Errorf("rag: judging %s: %w", name, err)
 		}
@@ -64,7 +65,7 @@ func (e *Extractor) ExtractAll(tree *procfs.Tree) ([]*protocol.TunableParam, *Ex
 			rep.Binary = append(rep.Binary, name)
 			continue
 		}
-		imp, err := e.important(name, j)
+		imp, err := e.important(ctx, name, j)
 		if err != nil {
 			return nil, nil, fmt.Errorf("rag: importance of %s: %w", name, err)
 		}
@@ -98,7 +99,7 @@ func (e *Extractor) ExtractAll(tree *procfs.Tree) ([]*protocol.TunableParam, *Ex
 
 // judge retrieves manual context for one parameter and asks the extraction
 // judge whether the documentation suffices, and if so for the details.
-func (e *Extractor) judge(name string, topK int) (*protocol.ExtractJudgment, error) {
+func (e *Extractor) judge(ctx context.Context, name string, topK int) (*protocol.ExtractJudgment, error) {
 	hits := e.Index.Search(Query(name), topK)
 	var chunks strings.Builder
 	for i, h := range hits {
@@ -118,7 +119,7 @@ func (e *Extractor) judge(name string, topK int) (*protocol.ExtractJudgment, err
 				"If not, reply {\"sufficient\": false, \"reason\": ...}.",
 		}},
 	}
-	resp, err := e.chat(req, "rag-judge")
+	resp, err := e.chat(ctx, req, "rag-judge")
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +134,7 @@ func (e *Extractor) judge(name string, topK int) (*protocol.ExtractJudgment, err
 	return &j, nil
 }
 
-func (e *Extractor) important(name string, j *protocol.ExtractJudgment) (*protocol.ImportanceJudgment, error) {
+func (e *Extractor) important(ctx context.Context, name string, j *protocol.ExtractJudgment) (*protocol.ImportanceJudgment, error) {
 	req := &llm.Request{
 		Model:  e.Model,
 		System: protocol.SysImportance,
@@ -146,7 +147,7 @@ func (e *Extractor) important(name string, j *protocol.ExtractJudgment) (*protoc
 				"{significant, reasoning}.",
 		}},
 	}
-	resp, err := e.chat(req, "rag-importance")
+	resp, err := e.chat(ctx, req, "rag-importance")
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +162,11 @@ func (e *Extractor) important(name string, j *protocol.ExtractJudgment) (*protoc
 	return &imp, nil
 }
 
-func (e *Extractor) chat(req *llm.Request, session string) (*llm.Response, error) {
+func (e *Extractor) chat(ctx context.Context, req *llm.Request, session string) (*llm.Response, error) {
 	if m, ok := e.Client.(*llm.Meter); ok {
-		return m.ChatSession(session, req)
+		return m.CompleteSession(ctx, session, req)
 	}
-	return e.Client.Chat(req)
+	return e.Client.Complete(ctx, req)
 }
 
 func parseInt(s string) (int64, error) {

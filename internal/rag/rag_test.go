@@ -1,6 +1,7 @@
 package rag
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -105,7 +106,7 @@ func TestExtractAllPipeline(t *testing.T) {
 	ix := NewIndex(NewHashedTFIDF(384, chunks), chunks)
 	ex := &Extractor{Index: ix, Client: simllm.New(simllm.GPT4o), Model: simllm.GPT4o, TopK: 20}
 	tree := procfs.New(reg)
-	tunables, rep, err := ex.ExtractAll(tree)
+	tunables, rep, err := ex.ExtractAll(context.Background(), tree)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestExtractionUsesMeterSessions(t *testing.T) {
 	ix := NewIndex(NewHashedTFIDF(384, chunks), chunks)
 	meter := llm.NewMeter(simllm.New(simllm.GPT4o))
 	ex := &Extractor{Index: ix, Client: meter, Model: simllm.GPT4o, TopK: 20}
-	if _, _, err := ex.ExtractAll(procfs.New(reg)); err != nil {
+	if _, _, err := ex.ExtractAll(context.Background(), procfs.New(reg)); err != nil {
 		t.Fatal(err)
 	}
 	if meter.SessionRequests("rag-judge") == 0 || meter.SessionUsage("rag-judge").InputTokens == 0 {
