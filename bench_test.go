@@ -22,7 +22,9 @@ import (
 	"stellar/internal/lustre"
 	"stellar/internal/manual"
 	"stellar/internal/params"
+	"stellar/internal/platform"
 	"stellar/internal/rag"
+	"stellar/internal/runcache"
 	"stellar/internal/workload"
 )
 
@@ -126,6 +128,41 @@ func BenchmarkEvaluateSerial(b *testing.B) { benchEvaluate(b, 1) }
 // BenchmarkEvaluateParallel fans the eight repetitions over all cores.
 func BenchmarkEvaluateParallel(b *testing.B) { benchEvaluate(b, runtime.GOMAXPROCS(0)) }
 
+// benchEvaluateWithPlatform measures repeated Evaluate calls on the same
+// configuration — the figure drivers' baseline pattern — against the given
+// platform backend.
+func benchEvaluateWithPlatform(b *testing.B, p platform.Platform) {
+	b.Helper()
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec: cluster.Default(), TuningModel: simllm.Claude37,
+		AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+		Scale: 0.25, Platform: p,
+	})
+	cfg := params.DefaultConfig(eng.Registry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(context.Background(), "IOR_16M", cfg, 8, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateUncached re-simulates the eight repetitions on every
+// Evaluate call — what every baseline measurement paid before the run
+// cache.
+func BenchmarkEvaluateUncached(b *testing.B) {
+	benchEvaluateWithPlatform(b, platform.Simulator{})
+}
+
+// BenchmarkEvaluateCached serves repeated configurations from the
+// content-addressed run cache: after the first iteration every trial is a
+// hit, so per-iteration cost collapses to hashing the RunSpec. Compare with
+// BenchmarkEvaluateUncached for the figure-regeneration dedup win.
+func BenchmarkEvaluateCached(b *testing.B) {
+	benchEvaluateWithPlatform(b, runcache.New(platform.Simulator{}, 0))
+}
+
 // BenchmarkFig8AblationParallel regenerates Figure 8 with its three
 // independent arms fanned over the worker pool, the experiment-level
 // counterpart to BenchmarkEvaluateParallel.
@@ -156,7 +193,7 @@ func BenchmarkSimulatorIOR16M(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
+		if _, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +208,7 @@ func BenchmarkSimulatorMDWorkbench(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
+		if _, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,13 +7,22 @@
 //	stellar-bench -fig fig5        # one experiment (fig2 fig5 fig6 fig7 fig8 fig9 cost iters fig10)
 //	stellar-bench -reps 3          # fewer repetitions for a quick pass
 //	stellar-bench -parallel 8      # fan independent arms/reps over 8 workers
+//	stellar-bench -cache -cache-stats
+//	                               # dedup identical trials; print hit/miss counters
+//	stellar-bench -fig fig8 -repeat 2 -cache -json BENCH_fig8.json
+//	                               # machine-readable wall-clock + cache stats per pass
+//	stellar-bench -platform record # serialize the full run set to -record-dir
+//	stellar-bench -platform replay # regenerate tables from recorded runs, no simulation
 //
 // The -parallel fan-out is deterministic: tables are bit-identical to a
-// serial run with the same seed. SIGINT/SIGTERM cancel the regeneration.
+// serial run with the same seed — and with -cache they stay bit-identical
+// while each unique (workload, config, seed) spec simulates exactly once.
+// SIGINT/SIGTERM cancel the regeneration, aborting even mid-simulation.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +30,29 @@ import (
 	"syscall"
 	"time"
 
+	"stellar/internal/cli"
 	"stellar/internal/experiments"
+	"stellar/internal/runcache"
+)
+
+// benchRecord is one machine-readable measurement: the wall-clock cost of
+// one experiment regeneration pass plus the run cache's activity during it.
+// -json appends these to a file so BENCH_*.json trajectories can accumulate
+// across commits.
+type benchRecord struct {
+	Experiment string          `json:"experiment"`
+	Pass       int             `json:"pass"`
+	Seconds    float64         `json:"seconds"`
+	Platform   string          `json:"platform"`
+	Cache      *runcache.Stats `json:"cache,omitempty"` // delta over this pass
+}
+
+// records accumulates the per-pass measurements; jsonPath is the -json
+// destination. Both are package-level so fatal can flush completed passes
+// even when a later pass fails or is cancelled mid-run.
+var (
+	records  []benchRecord
+	jsonPath string
 )
 
 func main() {
@@ -31,45 +62,120 @@ func main() {
 		scale    = flag.Float64("scale", 0, "workload scale (0 = default)")
 		seed     = flag.Int64("seed", 7, "base simulation seed")
 		parallel = flag.Int("parallel", 1, "worker pool size for independent arms and repetitions (1 = serial)")
+		repeat   = flag.Int("repeat", 1, "regenerate each experiment this many times (cache-effectiveness runs)")
+		jsonOut  = flag.String("json", "", "write per-pass wall-clock and cache stats to this file as JSON")
 	)
+	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
-	cfg := experiments.Config{Reps: *reps, Scale: *scale, Seed: *seed, Parallel: *parallel}
+	jsonPath = *jsonOut
+
+	plat, cache, err := pf.Build()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{
+		Reps: *reps, Scale: *scale, Seed: *seed, Parallel: *parallel, Platform: plat,
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	run := func(id string) {
+	run := func(id string, pass int) {
 		t0 := time.Now()
+		var before runcache.Stats
+		if cache != nil {
+			before = cache.Stats()
+		}
 		if id == "fig10" {
 			out, err := experiments.Fig10CaseStudy(ctx, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "stellar-bench: fig10: %v\n", err)
-				os.Exit(1)
+				fatal(fmt.Errorf("fig10: %w", err))
 			}
 			fmt.Println(out)
-			fmt.Printf("(fig10 took %v)\n\n", time.Since(t0).Round(time.Millisecond))
-			return
+		} else {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			tbl, err := e.Run(ctx, cfg)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Println(tbl.Render())
 		}
-		e, ok := experiments.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "stellar-bench: unknown experiment %q\n", id)
-			os.Exit(1)
+		elapsed := time.Since(t0)
+		rec := benchRecord{
+			Experiment: id, Pass: pass,
+			Seconds: elapsed.Seconds(), Platform: plat.Name(),
 		}
-		tbl, err := e.Run(ctx, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stellar-bench: %s: %v\n", id, err)
-			os.Exit(1)
+		if cache != nil {
+			delta := statsDelta(before, cache.Stats())
+			rec.Cache = &delta
+			if *pf.CacheStats {
+				fmt.Printf("(%s pass %d cache: %s)\n", id, pass, delta)
+			}
 		}
-		fmt.Println(tbl.Render())
-		fmt.Printf("(%s took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+		records = append(records, rec)
+		fmt.Printf("(%s pass %d took %v)\n\n", id, pass, elapsed.Round(time.Millisecond))
 	}
 
+	ids := []string{}
 	if *fig != "" {
-		run(*fig)
+		ids = append(ids, *fig)
+	} else {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+		ids = append(ids, "fig10")
+	}
+	for _, id := range ids {
+		for pass := 1; pass <= *repeat; pass++ {
+			run(id, pass)
+		}
+	}
+
+	if cache != nil && *pf.CacheStats {
+		fmt.Printf("run cache total [%s]: %s\n", plat.Name(), cache.Stats())
+	}
+	flushJSON()
+}
+
+// flushJSON writes whatever passes completed so far. Called on both the
+// success path and from fatal, so a SIGINT during pass N still leaves the
+// first N-1 records in the -json file.
+func flushJSON() {
+	if jsonPath == "" || records == nil {
 		return
 	}
-	for _, e := range experiments.All() {
-		run(e.ID)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-bench: marshaling -json records:", err)
+		return
 	}
-	run("fig10")
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-bench: writing -json file:", err)
+	}
+}
+
+// statsDelta subtracts the monotonic counters; gauge fields (Entries,
+// Capacity) keep their end-of-pass values.
+func statsDelta(before, after runcache.Stats) runcache.Stats {
+	return runcache.Stats{
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Coalesced: after.Coalesced - before.Coalesced,
+		Bypassed:  after.Bypassed - before.Bypassed,
+		Evictions: after.Evictions - before.Evictions,
+		Entries:   after.Entries,
+		Capacity:  after.Capacity,
+	}
+}
+
+func fatal(err error) {
+	flushJSON()
+	fmt.Fprintln(os.Stderr, "stellar-bench:", err)
+	os.Exit(1)
 }

@@ -8,10 +8,12 @@
 //	stellar-sim -workload IOR_16M -set lov.stripe_count=-1 -set osc.max_rpcs_in_flight=64
 //	stellar-sim -workload MDWorkbench_8K -darshan
 //	stellar-sim -workload IOR_16M -reps 8 -parallel 4
+//	stellar-sim -workload IOR_16M -reps 8 -platform record   # serialize runs to -record-dir
+//	stellar-sim -workload IOR_16M -reps 8 -platform replay   # re-print from the recorded set
 //
 // Repetitions fan out over -parallel workers with per-rep seeds fixed by
 // index, so the printed lines are identical to a serial run. SIGINT
-// cancels outstanding repetitions.
+// cancels outstanding repetitions and aborts mid-simulation.
 package main
 
 import (
@@ -24,10 +26,12 @@ import (
 	"strings"
 	"syscall"
 
+	"stellar/internal/cli"
 	"stellar/internal/cluster"
 	"stellar/internal/darshan"
 	"stellar/internal/lustre"
 	"stellar/internal/params"
+	"stellar/internal/platform"
 	"stellar/internal/pool"
 	"stellar/internal/workload"
 )
@@ -48,10 +52,16 @@ func main() {
 		dumpLog  = flag.Bool("darshan", false, "print the Darshan dump of the first run")
 	)
 	flag.Var(&sets, "set", "parameter override name=value (repeatable)")
+	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	plat, cache, err := pf.Build()
+	if err != nil {
+		fatal(err)
+	}
 
 	spec := cluster.Default()
 	reg := params.Lustre()
@@ -89,11 +99,13 @@ func main() {
 			col = darshan.NewCollector(w.Interface)
 			sink = col
 		}
-		res, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: *seed + int64(i)*101, Trace: sink})
+		out, err := plat.Run(ctx, platform.RunSpec{
+			Spec: spec, Workload: w, Config: cfg, Seed: *seed + int64(i)*101, Trace: sink,
+		})
 		if err != nil {
 			return err
 		}
-		results[i] = rep{res: res, col: col}
+		results[i] = rep{res: out.Result, col: col}
 		return nil
 	})
 	// Print whatever completed, in order, even when a later rep failed.
@@ -114,6 +126,9 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if cache != nil && *pf.CacheStats {
+		fmt.Printf("run cache [%s]: %s\n", plat.Name(), cache.Stats())
 	}
 }
 

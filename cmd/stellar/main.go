@@ -6,9 +6,13 @@
 // Usage:
 //
 //	stellar -workload IOR_16M [-model claude-3.7-sonnet] [-scale 0.25] [-attempts 5] [-parallel 4]
+//	stellar -workload IOR_16M -cache -cache-stats      # memoize identical trials
+//	stellar -workload IOR_16M -platform record         # serialize every run to -record-dir
+//	stellar -workload IOR_16M -platform replay         # regenerate from recorded runs, no simulation
 //
-// SIGINT/SIGTERM cancel the run's context: in-flight model calls and
-// simulator executions unwind promptly instead of running to completion.
+// SIGINT/SIGTERM cancel the run's context: in-flight model calls unwind, and
+// the discrete-event simulation itself aborts within a bounded number of
+// events rather than running to completion.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strings"
 	"syscall"
 
+	"stellar/internal/cli"
 	"stellar/internal/cluster"
 	"stellar/internal/core"
 	"stellar/internal/llm/simllm"
@@ -34,12 +39,18 @@ func main() {
 		attempts = flag.Int("attempts", 5, "maximum configuration attempts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 1, "worker pool size for evaluation repetitions (1 = serial)")
-		verbose  = flag.Bool("v", false, "print the I/O report and rationale details")
+		verbose  = flag.Bool("v", false, "print the I/O report, rationale details, and clamp warnings")
 	)
+	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	plat, cache, err := pf.Build()
+	if err != nil {
+		fatal(err)
+	}
 
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
 		Spec:          cluster.Default(),
@@ -50,6 +61,7 @@ func main() {
 		MaxAttempts:   *attempts,
 		Seed:          *seed,
 		Parallel:      *parallel,
+		Platform:      plat,
 	})
 
 	rep, err := eng.Offline(ctx)
@@ -71,6 +83,10 @@ func main() {
 	for i, h := range res.History {
 		speedup := res.History[0].WallTime / h.WallTime
 		fmt.Printf("  iteration %d: %8.3f s  (x%.2f)\n", i, h.WallTime, speedup)
+		if *verbose && len(h.Clamped) > 0 {
+			fmt.Printf("      warning: proposed values out of range, clamped: %s\n",
+				strings.Join(h.Clamped, ", "))
+		}
 	}
 	fmt.Printf("end reason: %s\n", res.EndReason)
 	fmt.Println("\nbest configuration:")
@@ -84,6 +100,9 @@ func main() {
 	u := res.Usage["tuning-agent"]
 	fmt.Printf("tuning agent tokens: %d in / %d out, cache hit %.0f%%\n",
 		u.InputTokens, u.OutputTokens, u.CacheHitRate()*100)
+	if cache != nil && *pf.CacheStats {
+		fmt.Printf("run cache [%s]: %s\n", eng.Platform().Name(), cache.Stats())
+	}
 }
 
 func fatal(err error) {

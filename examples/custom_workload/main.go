@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -46,7 +48,7 @@ func main() {
 
 	for _, name := range []string{"default", "striped"} {
 		collector := darshan.NewCollector(w.Interface)
-		res, err := lustre.Run(w, lustre.Options{
+		res, err := lustre.Run(context.Background(), w, lustre.Options{
 			Spec: spec, Config: configs[name], Seed: 42, Trace: collector,
 		})
 		if err != nil {

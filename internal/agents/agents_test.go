@@ -25,7 +25,7 @@ func analysisFixture(t *testing.T) *AnalysisAgent {
 		Ranks: 4, DirsPerRank: 1, FilesPerDir: 20, FileSize: 8 << 10, Rounds: 1,
 	}, 1.0)
 	col := darshan.NewCollector(w.Interface)
-	_, err := lustre.Run(w, lustre.Options{
+	_, err := lustre.Run(context.Background(), w, lustre.Options{
 		Spec: spec, Config: params.DefaultConfig(params.Lustre()), Seed: 1, Trace: col,
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"testing"
 
 	"stellar/internal/cluster"
@@ -24,7 +26,7 @@ func fixture(t *testing.T) (*params.Registry, []string, params.Env, params.Confi
 	calls := 0
 	eval := func(cfg params.Config) (float64, error) {
 		calls++
-		res, err := lustre.Run(w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(calls)})
+		res, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(calls)})
 		if err != nil {
 			return 0, err
 		}

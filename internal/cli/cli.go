@@ -1,0 +1,54 @@
+// Package cli holds the platform/cache wiring shared by the stellar
+// command-line tools: every binary exposes the same -platform, -record-dir,
+// -cache, -cache-size, and -cache-stats flags and resolves them into a
+// platform.Platform stack the same way.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"stellar/internal/platform"
+	"stellar/internal/runcache"
+)
+
+// PlatformFlags is the common flag set for selecting a measurement backend.
+type PlatformFlags struct {
+	Platform   *string
+	RecordDir  *string
+	Cache      *bool
+	CacheSize  *int
+	CacheStats *bool
+}
+
+// RegisterPlatformFlags installs the shared flags on the default flag set.
+func RegisterPlatformFlags() *PlatformFlags {
+	return &PlatformFlags{
+		Platform:   flag.String("platform", "sim", "measurement backend: sim (live simulator), record (simulate and serialize runs to -record-dir), replay (serve runs from -record-dir, no simulation)"),
+		RecordDir:  flag.String("record-dir", "runs", "directory for record/replay run sets"),
+		Cache:      flag.Bool("cache", false, "memoize runs in a content-addressed, singleflight-deduplicated cache"),
+		CacheSize:  flag.Int("cache-size", 0, "run cache capacity in entries (0 = default)"),
+		CacheStats: flag.Bool("cache-stats", false, "print run cache hit/miss statistics on exit"),
+	}
+}
+
+// Build resolves the flags into a platform stack. The returned cache is nil
+// when -cache is off; when set it is already part of the returned Platform.
+func (f *PlatformFlags) Build() (platform.Platform, *runcache.Cache, error) {
+	var base platform.Platform
+	switch *f.Platform {
+	case "sim":
+		base = platform.Simulator{}
+	case "record":
+		base = &platform.Recorder{Inner: platform.Simulator{}, Dir: *f.RecordDir}
+	case "replay":
+		base = &platform.Replayer{Dir: *f.RecordDir}
+	default:
+		return nil, nil, fmt.Errorf("unknown -platform %q (want sim, record, or replay)", *f.Platform)
+	}
+	if !*f.Cache {
+		return base, nil, nil
+	}
+	cache := runcache.New(base, *f.CacheSize)
+	return cache, cache, nil
+}

@@ -23,6 +23,7 @@ import (
 	"stellar/internal/lustre"
 	"stellar/internal/manual"
 	"stellar/internal/params"
+	"stellar/internal/platform"
 	"stellar/internal/pool"
 	"stellar/internal/procfs"
 	"stellar/internal/protocol"
@@ -47,6 +48,12 @@ type Options struct {
 	// seeds are fixed by index, so results are bit-identical either way.
 	Parallel int
 
+	// Platform is the measurement backend every trial executes on. Nil
+	// selects the in-process Lustre simulator. Passing a shared
+	// runcache.Cache (over any backend) deduplicates identical trials
+	// across Evaluate calls, tuning runs, and engines.
+	Platform platform.Platform
+
 	// Ablation switches (§5.4).
 	DisableDescriptions bool // strip RAG-extracted descriptions (keep ranges)
 	DisableAnalysis     bool // remove the Analysis Agent entirely
@@ -59,6 +66,7 @@ type Engine struct {
 	opts   Options
 	reg    *params.Registry
 	client llm.Client
+	plat   platform.Platform
 
 	mu      sync.Mutex // guards tunable
 	tunable []*protocol.TunableParam
@@ -80,10 +88,17 @@ func New(client llm.Client, opts Options) *Engine {
 		opts:   opts,
 		reg:    params.Lustre(),
 		client: client,
+		plat:   opts.Platform,
+	}
+	if e.plat == nil {
+		e.plat = platform.Simulator{}
 	}
 	e.rules.Store(&rules.Set{})
 	return e
 }
+
+// Platform returns the measurement backend trials execute on.
+func (e *Engine) Platform() platform.Platform { return e.plat }
 
 // Registry exposes the parameter registry.
 func (e *Engine) Registry() *params.Registry { return e.reg }
@@ -132,7 +147,7 @@ func (e *Engine) offlineLocked(ctx context.Context) (*rag.ExtractorReport, error
 	chunks := rag.ChunkText(text, 1024, 20)
 	emb := rag.NewHashedTFIDF(384, chunks)
 	index := rag.NewIndex(emb, chunks)
-	ex := &rag.Extractor{Index: index, Client: llm.NewMeter(e.client), Model: e.opts.ExtractModel, TopK: 20}
+	ex := &rag.Extractor{Index: index, Client: e.client, Model: e.opts.ExtractModel, TopK: 20}
 	tunables, report, err := ex.ExtractAll(ctx, procfs.New(e.reg))
 	if err != nil {
 		return nil, fmt.Errorf("core: offline extraction: %w", err)
@@ -141,16 +156,20 @@ func (e *Engine) offlineLocked(ctx context.Context) (*rag.ExtractorReport, error
 	return report, nil
 }
 
-// RunOutcome is one measured application execution.
+// RunOutcome is one measured application execution. Clamped lists the
+// parameters whose proposed values were pulled into range before the run.
 type RunOutcome struct {
 	WallTime float64
+	Clamped  []string
 	Result   *lustre.Result
 }
 
 // execute runs the workload under cfg with the between-runs hygiene
-// protocol (fresh file system state, caches, and mounts — a fresh
-// simulator instance gives exactly that). The parameter tree is created
-// per call, so concurrent executions never share mutable state.
+// protocol (fresh file system state, caches, and mounts — a fresh platform
+// trial gives exactly that). The parameter tree is created per call, so
+// concurrent executions never share mutable state. The trial itself is
+// delegated to the configured Platform, which may be the live simulator, a
+// run cache, or a replay of recorded runs.
 func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.Config, seed int64, sink lustre.TraceSink) (*RunOutcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -163,13 +182,13 @@ func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.C
 	if err := tree.Apply(full); err != nil {
 		return nil, err
 	}
-	res, err := lustre.Run(w, lustre.Options{
-		Spec: e.opts.Spec, Config: tree.Snapshot(), Seed: seed, Trace: sink,
+	res, err := e.plat.Run(ctx, platform.RunSpec{
+		Spec: e.opts.Spec, Workload: w, Config: tree.Snapshot(), Seed: seed, Trace: sink,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &RunOutcome{WallTime: res.WallTime, Result: res}, nil
+	return &RunOutcome{WallTime: res.WallTime, Clamped: res.Clamped, Result: res.Result}, nil
 }
 
 // Evaluate measures a configuration over reps repetitions with distinct
@@ -294,7 +313,7 @@ func (e *Engine) Tune(ctx context.Context, workloadName string) (*TuneResult, er
 		return protocol.HistoryEntry{
 			Config:   map[string]int64(cfg),
 			WallTime: out.WallTime,
-			Clamped:  out.Result.Clamped,
+			Clamped:  out.Clamped,
 		}, nil
 	})
 
@@ -314,6 +333,7 @@ func (e *Engine) Tune(ctx context.Context, workloadName string) (*TuneResult, er
 			Iteration: 0,
 			Config:    map[string]int64(defaults),
 			WallTime:  initial.WallTime,
+			Clamped:   initial.Clamped,
 		},
 		MaxAttempts: e.opts.MaxAttempts,
 		Runner:      runner,

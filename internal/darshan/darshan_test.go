@@ -1,6 +1,8 @@
 package darshan
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func collectFrom(t *testing.T, w *workload.Workload) *Log {
 	spec := cluster.Default()
 	spec.ClientNodes, spec.ProcsPerNode, spec.OSTCount = 2, 2, 3
 	col := NewCollector(w.Interface)
-	_, err := lustre.Run(w, lustre.Options{Spec: spec, Config: params.DefaultConfig(params.Lustre()), Seed: 1, Trace: col})
+	_, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: params.DefaultConfig(params.Lustre()), Seed: 1, Trace: col})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"stellar/internal/cluster"
 	"stellar/internal/core"
 	"stellar/internal/llm/simllm"
+	"stellar/internal/platform"
 	"stellar/internal/workload"
 )
 
@@ -30,6 +31,14 @@ type Config struct {
 	// arm's seeds are fixed by its index and rows are assembled in input
 	// order.
 	Parallel int
+
+	// Platform is the measurement backend every engine in the experiment
+	// executes trials on. Nil selects the live simulator per engine. A
+	// shared runcache.Cache here deduplicates identical trials across all
+	// arms of a figure (and across figures); a platform.Recorder /
+	// Replayer pair regenerates tables from recorded runs without any
+	// simulation.
+	Platform platform.Platform
 }
 
 // Defaults fills unset fields with the paper's protocol.
@@ -74,9 +83,20 @@ func newEngine(c Config, tuningModel string, disableDescs, disableAnalysis bool)
 		Seed:                c.Seed,
 		MaxAttempts:         5,
 		Parallel:            c.Parallel,
+		Platform:            c.Platform,
 		DisableDescriptions: disableDescs,
 		DisableAnalysis:     disableAnalysis,
 	})
+}
+
+// platformOrSim returns the configured backend, defaulting to the live
+// simulator, for experiment code that issues trials directly rather than
+// through an engine.
+func (c Config) platformOrSim() platform.Platform {
+	if c.Platform != nil {
+		return c.Platform
+	}
+	return platform.Simulator{}
 }
 
 // Table is a renderable experiment result.

@@ -11,9 +11,9 @@ import (
 	"stellar/internal/expert"
 	"stellar/internal/llm"
 	"stellar/internal/llm/simllm"
-	"stellar/internal/lustre"
 	"stellar/internal/manual"
 	"stellar/internal/params"
+	"stellar/internal/platform"
 	"stellar/internal/pool"
 	"stellar/internal/protocol"
 	"stellar/internal/rag"
@@ -460,13 +460,14 @@ func IterationCost(ctx context.Context, c Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	plat := c.platformOrSim()
 	evals := 0
 	eval := func(cfg params.Config) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		evals++
-		out, err := lustre.Run(w, lustre.Options{Spec: c.Spec, Config: cfg, Seed: c.Seed + int64(evals)})
+		out, err := plat.Run(ctx, platform.RunSpec{Spec: c.Spec, Workload: w, Config: cfg, Seed: c.Seed + int64(evals)})
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,8 @@
 package expert
 
 import (
+	"context"
+
 	"testing"
 
 	"stellar/internal/cluster"
@@ -42,11 +44,11 @@ func TestExpertBeatsDefault(t *testing.T) {
 			t.Fatal(err)
 		}
 		expCfg, _ := Config(reg, name)
-		d, err := lustre.Run(w, lustre.Options{Spec: spec, Config: def, Seed: 5})
+		d, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: def, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		e, err := lustre.Run(w, lustre.Options{Spec: spec, Config: expCfg, Seed: 5})
+		e, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: expCfg, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,27 @@
+package lustre
+
+import (
+	"context"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+// TestRunAbortsOnCancelledContext proves cancellation reaches the
+// discrete-event loop itself: a pre-cancelled context returns before any
+// simulated work, and the error is the context's.
+func TestRunAbortsOnCancelledContext(t *testing.T) {
+	spec := cluster.Default()
+	w, err := workload.Catalog("IOR_16M", spec.TotalRanks(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(ctx, w, Options{Spec: spec, Config: params.DefaultConfig(params.Lustre()), Seed: 1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -8,6 +8,7 @@
 package lustre
 
 import (
+	"context"
 	"fmt"
 
 	"stellar/internal/cluster"
@@ -131,8 +132,11 @@ func decodeConfig(cfg params.Config, spec cluster.Spec, reg *params.Registry) (c
 
 // Run executes the workload on the simulated file system and returns the
 // measured result. It validates the workload first and returns an error for
-// malformed inputs rather than panicking mid-simulation.
-func Run(w *workload.Workload, opts Options) (*Result, error) {
+// malformed inputs rather than panicking mid-simulation. Cancelling ctx
+// aborts the discrete-event loop itself within a bounded number of events,
+// so a SIGINT unwinds a long simulation promptly instead of waiting for the
+// run to drain.
+func Run(ctx context.Context, w *workload.Workload, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,7 +153,10 @@ func Run(w *workload.Workload, opts Options) (*Result, error) {
 		return nil, err
 	}
 	r := newRunner(w, opts, cv)
-	res := r.run()
+	res, err := r.run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	res.Clamped = clamped
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package lustre
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -31,7 +33,7 @@ func smallIOR(random bool) *workload.Workload {
 
 func runOn(t *testing.T, w *workload.Workload, spec cluster.Spec, cfg params.Config, seed int64) *Result {
 	t.Helper()
-	res, err := Run(w, Options{Spec: spec, Config: cfg, Seed: seed})
+	res, err := Run(context.Background(), w, Options{Spec: spec, Config: cfg, Seed: seed})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -44,11 +46,11 @@ func runOn(t *testing.T, w *workload.Workload, spec cluster.Spec, cfg params.Con
 func TestRunValidation(t *testing.T) {
 	w := smallIOR(false)
 	spec := cluster.Default() // 50 ranks, workload has 4
-	if _, err := Run(w, Options{Spec: spec, Config: defaultCfg()}); err == nil {
+	if _, err := Run(context.Background(), w, Options{Spec: spec, Config: defaultCfg()}); err == nil {
 		t.Fatal("rank mismatch not detected")
 	}
 	bad := &workload.Workload{Name: "bad"}
-	if _, err := Run(bad, Options{Spec: testSpec(), Config: defaultCfg()}); err == nil {
+	if _, err := Run(context.Background(), bad, Options{Spec: testSpec(), Config: defaultCfg()}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }
@@ -257,7 +259,7 @@ func TestTraceSinkReceivesEvents(t *testing.T) {
 	var events []Event
 	sink := sinkFunc(func(ev Event) { events = append(events, ev) })
 	w := smallIOR(false)
-	_, err := Run(w, Options{Spec: testSpec(), Config: defaultCfg(), Seed: 1, Trace: sink})
+	_, err := Run(context.Background(), w, Options{Spec: testSpec(), Config: defaultCfg(), Seed: 1, Trace: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +303,7 @@ func TestAnyValidConfigRuns(t *testing.T) {
 			}
 		}
 		cfg, _ = params.Clamp(cfg, reg, env)
-		res, err := Run(w, Options{Spec: spec, Config: cfg, Seed: seed})
+		res, err := Run(context.Background(), w, Options{Spec: spec, Config: cfg, Seed: seed})
 		return err == nil && res.WallTime > 0 && res.WallTime < 1e6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {

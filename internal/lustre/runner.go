@@ -1,6 +1,7 @@
 package lustre
 
 import (
+	"context"
 	"math/rand"
 
 	"stellar/internal/cluster"
@@ -177,13 +178,17 @@ func (r *runner) jitter() float64 {
 	return 1 + noiseAmp*(r.rng.Float64()*2-1)
 }
 
-func (r *runner) run() *Result {
+func (r *runner) run(ctx context.Context) (*Result, error) {
 	for rank := range r.w.Ranks {
 		rank := rank
 		r.eng.At(0, func() { r.step(rank, 0) })
 	}
-	r.res.WallTime = r.eng.Run()
-	return &r.res
+	wall, err := r.eng.RunContext(ctx, sim.DefaultCheckEvery)
+	if err != nil {
+		return nil, err
+	}
+	r.res.WallTime = wall
+	return &r.res, nil
 }
 
 // step executes op index i of rank and schedules the next one on completion.

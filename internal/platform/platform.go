@@ -1,0 +1,183 @@
+// Package platform decouples the STELLAR engine from the concrete
+// measurement substrate. A Platform is a swappable oracle that executes one
+// (cluster, workload, configuration, seed) trial and reports the measured
+// result — exactly how the paper's evaluation protocol treats the Lustre
+// deployment. The default backend wraps the discrete-event Lustre
+// simulator; a record/replay backend serializes results (and trace events)
+// to disk for deterministic, cluster-free regression runs; future adapters
+// can drive a real cluster behind the same interface.
+//
+// Every RunSpec has a stable content-addressed Key derived from the full
+// cluster spec, the workload's complete op streams, the configuration, and
+// the seed. Two specs with equal keys describe byte-identical trials, which
+// is what makes run caching (internal/runcache) and replay sound.
+package platform
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+	"sync"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+// RunSpec fully describes one measurement trial. Trace is an optional
+// observer of per-operation events; it is deliberately excluded from Key
+// because it does not influence the measured result.
+type RunSpec struct {
+	Spec     cluster.Spec
+	Workload *workload.Workload
+	Config   params.Config
+	Seed     int64
+	Trace    lustre.TraceSink
+}
+
+// RunResult is one measured trial as reported by a Platform. Clamped lists
+// parameters whose proposed values were out of range and silently pulled
+// back before the run — surfacing them lets callers warn instead of
+// measuring a different configuration than the one proposed.
+type RunResult struct {
+	WallTime float64        `json:"wall_time_s"`
+	Clamped  []string       `json:"clamped,omitempty"`
+	Result   *lustre.Result `json:"result"`
+}
+
+// Platform executes measurement trials. Implementations must be safe for
+// concurrent use and must treat the returned RunResult as immutable once
+// handed out (caches share results across callers).
+type Platform interface {
+	// Name identifies the backend ("sim", "record", "replay", "cache(...)").
+	Name() string
+	// Run executes one trial. Cancelling ctx aborts the trial promptly,
+	// including mid-simulation for the simulator backend.
+	Run(ctx context.Context, spec RunSpec) (*RunResult, error)
+}
+
+// Key returns the content-addressed identity of the trial: a hex SHA-256
+// over the cluster spec, the workload content (name, scale, file table,
+// phases, and every op of every rank), the effective configuration, and the
+// seed. It is stable across processes, so it doubles as the on-disk name
+// for recorded runs.
+//
+// Hashing the op streams is O(total ops), so the workload portion of the
+// digest is memoized per *Workload: every stacked layer (cache over
+// recorder, replayer) re-derives the key, and cache hits must not pay a
+// full-workload hash each time. Workloads are immutable once built by
+// workload.Catalog; mutating one in place after its first Key would go
+// unnoticed — derive a fresh Workload instead.
+func (s RunSpec) Key() string {
+	h := sha256.New()
+	// Cluster spec: all fields are scalars, and %#v renders them in
+	// declaration order with their field names, so any spec change alters
+	// the key.
+	fmt.Fprintf(h, "%#v\n", s.Spec)
+	h.Write(workloadDigest(s.Workload))
+
+	names := make([]string, 0, len(s.Config))
+	for k := range s.Config {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(h, "cfg %s=%d\n", k, s.Config[k])
+	}
+	fmt.Fprintf(h, "seed %d\n", s.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// The digest memo is keyed by pointer identity and bounded: drivers build a
+// fresh *Workload per Evaluate/Tune call, so an unbounded map would retain
+// every op stream for process lifetime. FIFO eviction caps retention at
+// wlMemoCap workloads; an evicted entry just recomputes.
+const wlMemoCap = 128
+
+var (
+	wlMu   sync.Mutex
+	wlMap  = map[*workload.Workload][]byte{}
+	wlFIFO []*workload.Workload
+)
+
+func workloadDigest(w *workload.Workload) []byte {
+	wlMu.Lock()
+	if d, ok := wlMap[w]; ok {
+		wlMu.Unlock()
+		return d
+	}
+	wlMu.Unlock()
+
+	h := sha256.New()
+	fmt.Fprintf(h, "workload %q iface %q scale %g compute %g dirs %d\n",
+		w.Name, w.Interface, w.Scale, w.ComputePerOp, w.DirCount)
+	var buf [40]byte
+	for _, fm := range w.Files {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(fm.Dir))
+		buf[4] = 0
+		if fm.Shared {
+			buf[4] = 1
+		}
+		h.Write(buf[:5])
+	}
+	for _, ph := range w.Phases {
+		fmt.Fprintf(h, "phase %q %d\n", ph.Name, ph.Start)
+	}
+	for _, ops := range w.Ranks {
+		hashOps(h, ops, buf[:])
+	}
+	d := h.Sum(nil)
+
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	if prev, ok := wlMap[w]; ok {
+		return prev
+	}
+	wlMap[w] = d
+	wlFIFO = append(wlFIFO, w)
+	if len(wlFIFO) > wlMemoCap {
+		delete(wlMap, wlFIFO[0])
+		wlFIFO = wlFIFO[1:]
+	}
+	return d
+}
+
+// hashOps writes one rank's op stream into h using a fixed 33-byte binary
+// encoding per op; a rank boundary marker keeps (rank0: a,b)(rank1: c)
+// distinct from (rank0: a)(rank1: b,c).
+func hashOps(h hash.Hash, ops []workload.Op, buf []byte) {
+	for _, op := range ops {
+		buf[0] = byte(op.Type)
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.File))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(op.Dir))
+		binary.LittleEndian.PutUint64(buf[9:17], uint64(op.Offset))
+		binary.LittleEndian.PutUint64(buf[17:25], uint64(op.Size))
+		binary.LittleEndian.PutUint32(buf[25:29], uint32(op.Index))
+		h.Write(buf[:29])
+	}
+	h.Write([]byte{0xff, 'r', 'a', 'n', 'k'})
+}
+
+// Simulator is the default Platform: the in-process discrete-event Lustre
+// model. The zero value is ready to use.
+type Simulator struct{}
+
+// Name implements Platform.
+func (Simulator) Name() string { return "sim" }
+
+// Run implements Platform by executing the trial on the simulated file
+// system.
+func (Simulator) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	res, err := lustre.Run(ctx, spec.Workload, lustre.Options{
+		Spec: spec.Spec, Config: spec.Config, Seed: spec.Seed, Trace: spec.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{WallTime: res.WallTime, Clamped: res.Clamped, Result: res}, nil
+}

@@ -1,0 +1,200 @@
+package platform
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+func testSpec() cluster.Spec {
+	s := cluster.Default()
+	s.ClientNodes, s.ProcsPerNode, s.OSTCount = 2, 2, 3
+	return s
+}
+
+func testRunSpec(t *testing.T, seed int64) RunSpec {
+	t.Helper()
+	spec := testSpec()
+	w, err := workload.Catalog("IOR_16M", spec.TotalRanks(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunSpec{
+		Spec:     spec,
+		Workload: w,
+		Config:   params.DefaultConfig(params.Lustre()),
+		Seed:     seed,
+	}
+}
+
+func TestKeyIsStableAndContentAddressed(t *testing.T) {
+	a := testRunSpec(t, 7)
+	b := testRunSpec(t, 7)
+	if a.Key() != b.Key() {
+		t.Fatal("identical specs produced different keys")
+	}
+	// The trace sink must not influence identity.
+	b.Trace = &captureSink{}
+	if a.Key() != b.Key() {
+		t.Fatal("trace sink changed the key")
+	}
+
+	mutations := map[string]RunSpec{}
+	seed := testRunSpec(t, 8)
+	mutations["seed"] = seed
+
+	cfg := testRunSpec(t, 7)
+	cfg.Config = cfg.Config.Clone()
+	cfg.Config["osc.max_rpcs_in_flight"] = 32
+	mutations["config"] = cfg
+
+	cl := testRunSpec(t, 7)
+	cl.Spec.OSTCount = 4
+	mutations["cluster"] = cl
+
+	wl := testRunSpec(t, 7)
+	w2, err := workload.Catalog("IOR_64K", wl.Spec.TotalRanks(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Workload = w2
+	mutations["workload"] = wl
+
+	op := testRunSpec(t, 7)
+	clone := *op.Workload
+	clone.Ranks = append([][]workload.Op{}, op.Workload.Ranks...)
+	r0 := append([]workload.Op{}, clone.Ranks[0]...)
+	r0[0].Size++
+	clone.Ranks[0] = r0
+	op.Workload = &clone
+	mutations["single op"] = op
+
+	for what, m := range mutations {
+		if m.Key() == a.Key() {
+			t.Errorf("changing the %s did not change the key", what)
+		}
+	}
+}
+
+func TestSimulatorMatchesDirectRun(t *testing.T) {
+	spec := testRunSpec(t, 3)
+	direct, err := lustre.Run(context.Background(), spec.Workload, lustre.Options{
+		Spec: spec.Spec, Config: spec.Config, Seed: spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPlatform, err := Simulator{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaPlatform.Result) {
+		t.Fatal("platform run diverged from direct lustre.Run")
+	}
+	if viaPlatform.WallTime != direct.WallTime {
+		t.Fatal("WallTime not surfaced")
+	}
+}
+
+type captureSink struct {
+	events []lustre.Event
+}
+
+func (c *captureSink) Record(ev lustre.Event) { c.events = append(c.events, ev) }
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := &Recorder{Inner: Simulator{}, Dir: dir}
+	spec := testRunSpec(t, 5)
+
+	liveSink := &captureSink{}
+	traced := spec
+	traced.Trace = liveSink
+	live, err := rec.Run(context.Background(), traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveSink.events) == 0 {
+		t.Fatal("recorder swallowed the live trace events")
+	}
+
+	rep := &Replayer{Dir: dir}
+	replaySink := &captureSink{}
+	replayTraced := spec
+	replayTraced.Trace = replaySink
+	replayed, err := rep.Run(context.Background(), replayTraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Result, replayed.Result) {
+		t.Fatal("replayed result diverged from the live run")
+	}
+	if !reflect.DeepEqual(liveSink.events, replaySink.events) {
+		t.Fatal("replayed trace events diverged from the live run")
+	}
+
+	// Untraced replay of the same key works too.
+	again, err := rep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.WallTime != live.WallTime {
+		t.Fatal("untraced replay diverged")
+	}
+}
+
+func TestReplayerRejectsUnrecordedSpec(t *testing.T) {
+	rep := &Replayer{Dir: t.TempDir()}
+	_, err := rep.Run(context.Background(), testRunSpec(t, 99))
+	if err == nil || !strings.Contains(err.Error(), "no recording") {
+		t.Fatalf("want a no-recording error, got %v", err)
+	}
+}
+
+func TestReplayerRejectsSinkOnUntracedRecording(t *testing.T) {
+	dir := t.TempDir()
+	rec := &Recorder{Inner: Simulator{}, Dir: dir}
+	spec := testRunSpec(t, 6)
+	if _, err := rec.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	traced := spec
+	traced.Trace = &captureSink{}
+	_, err := (&Replayer{Dir: dir}).Run(context.Background(), traced)
+	if err == nil || !strings.Contains(err.Error(), "without tracing") {
+		t.Fatalf("want a without-tracing error, got %v", err)
+	}
+}
+
+func TestRecorderKeepsTracedRecording(t *testing.T) {
+	dir := t.TempDir()
+	rec := &Recorder{Inner: Simulator{}, Dir: dir}
+	spec := testRunSpec(t, 4)
+	traced := spec
+	traced.Trace = &captureSink{}
+	if _, err := rec.Run(context.Background(), traced); err != nil {
+		t.Fatal(err)
+	}
+	// A later untraced run of the same spec must not clobber the events.
+	if _, err := rec.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	replaySink := &captureSink{}
+	traced.Trace = replaySink
+	if _, err := (&Replayer{Dir: dir}).Run(context.Background(), traced); err != nil {
+		t.Fatal(err)
+	}
+	if len(replaySink.events) == 0 {
+		t.Fatal("untraced re-record dropped the traced recording's events")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(matches) != 1 {
+		t.Fatalf("want exactly one recording, got %d", len(matches))
+	}
+}

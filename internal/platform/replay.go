@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"stellar/internal/lustre"
+)
+
+// recording is the on-disk form of one trial: the measured result plus the
+// full trace-event stream (when the original run had a sink attached), so a
+// replayed run can drive the same Darshan collection the live run did.
+type recording struct {
+	Key      string         `json:"key"`
+	Workload string         `json:"workload"`
+	Seed     int64          `json:"seed"`
+	Result   RunResult      `json:"result"`
+	Events   []lustre.Event `json:"events,omitempty"`
+}
+
+// Recorder is a pass-through Platform that serializes every completed trial
+// to Dir as <key>.json. Runs with a trace sink are recorded with their full
+// event stream, so a Replayer over the same directory reproduces them —
+// including the Darshan-derived analysis — byte for byte.
+type Recorder struct {
+	Inner Platform
+	Dir   string
+
+	// mu serializes the exists-check/rename pair in write so a concurrent
+	// event-less recording can never clobber a traced one for the same key.
+	mu sync.Mutex
+}
+
+// Name implements Platform.
+func (r *Recorder) Name() string { return "record(" + r.Inner.Name() + ")" }
+
+// teeSink forwards events to the live sink (if any) while keeping a copy
+// for the recording.
+type teeSink struct {
+	next   lustre.TraceSink
+	events []lustre.Event
+}
+
+func (t *teeSink) Record(ev lustre.Event) {
+	t.events = append(t.events, ev)
+	if t.next != nil {
+		t.next.Record(ev)
+	}
+}
+
+// Run implements Platform: execute on the inner backend, then persist.
+func (r *Recorder) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	key := spec.Key()
+	var tee *teeSink
+	if spec.Trace != nil {
+		tee = &teeSink{next: spec.Trace}
+		spec.Trace = tee
+	}
+	res, err := r.Inner.Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	rec := recording{Key: key, Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
+	if tee != nil {
+		rec.Events = tee.events
+	}
+	if err := r.write(key, &rec); err != nil {
+		return nil, fmt.Errorf("platform: recording %s: %w", key[:12], err)
+	}
+	return res, nil
+}
+
+// write persists atomically (temp file + rename) so concurrent runs of the
+// same spec — or a crash mid-write — never leave a torn recording behind.
+// Traced and untraced runs of one spec share a key and an identical result;
+// an event-less recording never replaces an existing one, which may carry
+// the richer traced form. The marshal and temp-file I/O run outside the
+// lock; only the exists-check and rename are serialized, so distinct keys
+// still record concurrently.
+func (r *Recorder) write(key string, rec *recording) error {
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(r.Dir, key+".json")
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(r.Dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(rec.Events) == 0 {
+		if _, err := os.Stat(final); err == nil {
+			os.Remove(tmp.Name())
+			return nil
+		}
+	}
+	return os.Rename(tmp.Name(), final)
+}
+
+// Replayer serves trials from a directory of recordings and never touches a
+// simulator or cluster: an unrecorded spec is an error, which is what makes
+// it a deterministic regression oracle. If the original run carried trace
+// events they are fed to the spec's sink in recorded order.
+type Replayer struct {
+	Dir string
+}
+
+// Name implements Platform.
+func (r *Replayer) Name() string { return "replay" }
+
+// Run implements Platform.
+func (r *Replayer) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := spec.Key()
+	data, err := os.ReadFile(filepath.Join(r.Dir, key+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("platform: no recording for %s seed %d (key %s) in %s: %w",
+			spec.Workload.Name, spec.Seed, key[:12], r.Dir, err)
+	}
+	var rec recording
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("platform: corrupt recording %s: %w", key[:12], err)
+	}
+	if spec.Trace != nil {
+		if len(rec.Events) == 0 {
+			return nil, fmt.Errorf("platform: recording %s was made without tracing but the replayed run wants a sink; re-record with tracing", key[:12])
+		}
+		for _, ev := range rec.Events {
+			spec.Trace.Record(ev)
+		}
+	}
+	out := rec.Result
+	return &out, nil
+}

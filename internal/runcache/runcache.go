@@ -1,0 +1,187 @@
+// Package runcache memoizes measurement trials behind the platform
+// abstraction. The evaluation drivers re-measure the exact same (workload,
+// configuration, seed) triple dozens of times — default-config baselines
+// alone recur per figure arm, per sweep point, and per repetition — and
+// every one of those is a deterministic function of its content-addressed
+// RunSpec key. The cache collapses them to one backend run apiece: a
+// bounded LRU holds completed results, and an in-flight table singleflights
+// concurrent requests for the same key so a parallel fan-out issues exactly
+// one simulation per unique spec.
+//
+// Runs carrying a trace sink bypass the cache: their per-event side effects
+// happen outside the measured result, so serving them from memory would
+// silently drop the trace. (Record/replay, which does capture events, lives
+// in internal/platform.)
+package runcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"stellar/internal/platform"
+)
+
+// DefaultCapacity bounds the LRU when the caller passes capacity <= 0. A
+// full figure regeneration touches a few thousand unique specs; results are
+// small (a Result struct, no event streams), so this stays in the tens of
+// megabytes.
+const DefaultCapacity = 4096
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`      // served from the completed-run LRU
+	Misses    uint64 `json:"misses"`    // executed on the backend
+	Coalesced uint64 `json:"coalesced"` // joined an in-flight backend run
+	Bypassed  uint64 `json:"bypassed"`  // traced runs passed straight through
+	Evictions uint64 `json:"evictions"` // LRU entries dropped at capacity
+	Entries   int    `json:"entries"`   // current resident results
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns hits+coalesced over all cacheable lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits %d, coalesced %d, misses %d, bypassed %d, evictions %d, resident %d/%d (hit rate %.0f%%)",
+		s.Hits, s.Coalesced, s.Misses, s.Bypassed, s.Evictions, s.Entries, s.Capacity, s.HitRate()*100)
+}
+
+type entry struct {
+	key string
+	res *platform.RunResult
+}
+
+// flight is one in-progress backend run other callers can wait on.
+type flight struct {
+	done chan struct{}
+	res  *platform.RunResult
+	err  error
+}
+
+// Cache is a content-addressed, singleflight-deduplicated run cache. It
+// implements platform.Platform, so it stacks over any backend (simulator,
+// recorder, replayer) and under any consumer (core.Engine, experiments).
+// It is safe for concurrent use. Returned results are shared across
+// callers and must be treated as immutable.
+type Cache struct {
+	inner platform.Platform
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; values are *entry
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	capacity int
+	stats    Stats
+}
+
+// New wraps inner in a cache holding at most capacity completed results
+// (DefaultCapacity if <= 0).
+func New(inner platform.Platform, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		inner:    inner,
+		lru:      list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+		capacity: capacity,
+	}
+}
+
+// Name implements platform.Platform.
+func (c *Cache) Name() string { return "cache(" + c.inner.Name() + ")" }
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// Run implements platform.Platform. The first caller for a key executes the
+// backend run; concurrent callers for the same key block until it completes
+// and share its result; later callers hit the LRU. Errors are not cached —
+// a failed run is retried by the next caller, and a coalesced waiter whose
+// own context is still live retries when the flight's owner was cancelled
+// (its cancellation must not poison unrelated callers sharing the cache).
+func (c *Cache) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
+	if spec.Trace != nil {
+		c.mu.Lock()
+		c.stats.Bypassed++
+		c.mu.Unlock()
+		return c.inner.Run(ctx, spec)
+	}
+	key := spec.Key()
+
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			res := el.Value.(*entry).res
+			c.mu.Unlock()
+			return res, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+					continue // owner cancelled, we weren't: try again
+				}
+				return f.res, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		res, err := c.inner.Run(ctx, spec)
+		f.res, f.err = res, err
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.insertLocked(key, res)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (c *Cache) insertLocked(key string, res *platform.RunResult) {
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.items[key] = c.lru.PushFront(&entry{key: key, res: res})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}

@@ -1,0 +1,327 @@
+package runcache
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/platform"
+	"stellar/internal/workload"
+)
+
+func testRunSpec(t *testing.T, seed int64) platform.RunSpec {
+	t.Helper()
+	spec := cluster.Default()
+	spec.ClientNodes, spec.ProcsPerNode, spec.OSTCount = 2, 2, 3
+	w, err := workload.Catalog("IOR_16M", spec.TotalRanks(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return platform.RunSpec{
+		Spec: spec, Workload: w,
+		Config: params.DefaultConfig(params.Lustre()), Seed: seed,
+	}
+}
+
+// countingBackend counts Run calls per key and optionally delays each run to
+// widen singleflight race windows.
+type countingBackend struct {
+	inner platform.Platform
+	delay time.Duration
+
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func newCountingBackend(delay time.Duration) *countingBackend {
+	return &countingBackend{inner: platform.Simulator{}, delay: delay, calls: map[string]int{}}
+}
+
+func (c *countingBackend) Name() string { return "count(" + c.inner.Name() + ")" }
+
+func (c *countingBackend) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
+	key := spec.Key()
+	c.mu.Lock()
+	c.calls[key]++
+	c.mu.Unlock()
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.inner.Run(ctx, spec)
+}
+
+func (c *countingBackend) callsFor(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[key]
+}
+
+func (c *countingBackend) totalCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.calls {
+		n += v
+	}
+	return n
+}
+
+func TestCacheServesRepeatsFromMemory(t *testing.T) {
+	backend := newCountingBackend(0)
+	cache := New(backend, 0)
+	spec := testRunSpec(t, 1)
+
+	first, err := cache.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cache.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cache hit returned a different result")
+	}
+	if got := backend.callsFor(spec.Key()); got != 1 {
+		t.Fatalf("backend ran %d times, want 1", got)
+	}
+	s := cache.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestEvaluateBitIdentityCachedVsUncached is the correctness contract for
+// threading the cache under core.Engine: the summary an engine computes over
+// a cached platform must be bit-identical to an uncached engine's, both on
+// the first (all-miss) and a repeated (all-hit) Evaluate.
+func TestEvaluateBitIdentityCachedVsUncached(t *testing.T) {
+	mk := func(p platform.Platform) *core.Engine {
+		return core.New(simllm.New(simllm.GPT4o), core.Options{
+			Spec: cluster.Default(), TuningModel: simllm.Claude37,
+			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+			Scale: 0.05, Seed: 3, Platform: p,
+		})
+	}
+	uncached := mk(nil)
+	cache := New(platform.Simulator{}, 0)
+	cached := mk(cache)
+
+	cfg := params.DefaultConfig(params.Lustre())
+	ctx := context.Background()
+	want, err := uncached.Evaluate(ctx, "IOR_16M", cfg, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := cached.Evaluate(ctx, "IOR_16M", cfg, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := cached.Evaluate(ctx, "IOR_16M", cfg, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, miss) {
+		t.Fatalf("first cached Evaluate diverged: %+v vs %+v", want, miss)
+	}
+	if !reflect.DeepEqual(want, hit) {
+		t.Fatalf("repeated cached Evaluate diverged: %+v vs %+v", want, hit)
+	}
+	s := cache.Stats()
+	if s.Misses != 4 || s.Hits != 4 {
+		t.Fatalf("want 4 misses + 4 hits across the two Evaluates, got %+v", s)
+	}
+}
+
+// TestSingleflightUnderConcurrency spins many goroutines at the same spec
+// through one cache (run under -race in CI): exactly one backend run may
+// happen, everyone shares its result.
+func TestSingleflightUnderConcurrency(t *testing.T) {
+	backend := newCountingBackend(20 * time.Millisecond)
+	cache := New(backend, 0)
+	spec := testRunSpec(t, 2)
+
+	const goroutines = 16
+	results := make([]*platform.RunResult, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = cache.Run(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatal("goroutines got different result pointers for one spec")
+		}
+	}
+	if got := backend.callsFor(spec.Key()); got != 1 {
+		t.Fatalf("backend ran %d times under concurrency, want 1", got)
+	}
+	s := cache.Stats()
+	if s.Misses != 1 || s.Hits+s.Coalesced != goroutines-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestConcurrentDistinctSpecs exercises the cache's locking with a mixed
+// concurrent load of repeated and distinct specs (for -race).
+func TestConcurrentDistinctSpecs(t *testing.T) {
+	backend := newCountingBackend(0)
+	cache := New(backend, 0)
+	const seeds = 4
+	const callers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := testRunSpec(t, int64(i%seeds))
+			if _, err := cache.Run(context.Background(), spec); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := backend.totalCalls(); got != seeds {
+		t.Fatalf("backend ran %d times for %d unique specs", got, seeds)
+	}
+}
+
+func TestLRUEvictionBounds(t *testing.T) {
+	backend := newCountingBackend(0)
+	cache := New(backend, 2)
+	ctx := context.Background()
+
+	for seed := int64(0); seed < 3; seed++ {
+		if _, err := cache.Run(ctx, testRunSpec(t, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats after overflow = %+v", s)
+	}
+	// Seed 0 was evicted (least recently used): re-running it must miss.
+	if _, err := cache.Run(ctx, testRunSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.callsFor(testRunSpec(t, 0).Key()); got != 2 {
+		t.Fatalf("evicted entry re-ran %d times, want 2", got)
+	}
+	// Seed 2 stayed resident.
+	if _, err := cache.Run(ctx, testRunSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.callsFor(testRunSpec(t, 2).Key()); got != 1 {
+		t.Fatalf("resident entry re-ran: %d calls", got)
+	}
+	if s := cache.Stats(); s.Entries > 2 {
+		t.Fatalf("capacity exceeded: %+v", s)
+	}
+}
+
+func TestTracedRunsBypassTheCache(t *testing.T) {
+	backend := newCountingBackend(0)
+	cache := New(backend, 0)
+	spec := testRunSpec(t, 9)
+	spec.Trace = &nullSink{}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := cache.Run(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := backend.callsFor(spec.Key()); got != 2 {
+		t.Fatalf("traced runs were cached: %d backend calls, want 2", got)
+	}
+	s := cache.Stats()
+	if s.Bypassed != 2 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+type nullSink struct{}
+
+func (nullSink) Record(lustre.Event) {}
+
+// blockingBackend parks every Run until released, so a test can pin a
+// flight in the in-flight table while other callers coalesce on it.
+type blockingBackend struct {
+	inner   platform.Platform
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingBackend) Name() string { return "blocking" }
+
+func (b *blockingBackend) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		return b.inner.Run(context.Background(), spec)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestCoalescedWaiterSurvivesOwnersCancellation: a waiter whose own context
+// is live must not inherit the flight owner's cancellation error — it
+// retries and runs the trial itself.
+func TestCoalescedWaiterSurvivesOwnersCancellation(t *testing.T) {
+	backend := &blockingBackend{
+		inner:   platform.Simulator{},
+		started: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	cache := New(backend, 0)
+	spec := testRunSpec(t, 11)
+
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := cache.Run(ownerCtx, spec)
+		ownerErr <- err
+	}()
+	<-backend.started // owner's flight is in the table
+
+	waiterRes := make(chan *platform.RunResult, 1)
+	waiterErr := make(chan error, 1)
+	go func() {
+		res, err := cache.Run(context.Background(), spec)
+		waiterRes <- res
+		waiterErr <- err
+	}()
+	// Give the waiter time to coalesce on the owner's flight, then cancel
+	// only the owner.
+	for cache.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelOwner()
+	if err := <-ownerErr; err != context.Canceled {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	// The waiter retries: it becomes the new flight owner and blocks on the
+	// backend again; release it.
+	<-backend.started
+	close(backend.release)
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("live waiter inherited the owner's cancellation: %v", err)
+	}
+	if res := <-waiterRes; res == nil {
+		t.Fatal("waiter got no result")
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunContextAbortsMidRun cancels the context from inside the event loop
+// and checks the engine stops within the bounded check window instead of
+// draining the whole queue.
+func TestRunContextAbortsMidRun(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	const total = 100_000
+	fired := 0
+	var chain func()
+	chain = func() {
+		fired++
+		if fired == 10 {
+			cancel()
+		}
+		if fired < total {
+			e.After(1e-6, chain)
+		}
+	}
+	e.At(0, chain)
+
+	_, err := e.RunContext(ctx, 16)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired >= total {
+		t.Fatal("cancellation did not abort the run")
+	}
+	if fired > 10+16 {
+		t.Fatalf("fired %d events after cancellation, want <= checkEvery", fired-10)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() { t.Fatal("event fired under a cancelled context") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunIsRunContextWithBackground(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.At(1, func() { hits++ })
+	e.At(2, func() { hits++ })
+	if wall := e.Run(); wall != 2 || hits != 2 {
+		t.Fatalf("wall = %g, hits = %d", wall, hits)
+	}
+}

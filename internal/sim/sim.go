@@ -10,6 +10,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -86,17 +87,40 @@ func (e *Engine) After(d float64, fn func()) {
 // Stop aborts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// DefaultCheckEvery is the event-count granularity at which RunContext polls
+// the context. Large simulations fire millions of events; checking every
+// event would put an atomic load on the hot path, while this bound keeps the
+// cancellation latency to a few microseconds of simulated work.
+const DefaultCheckEvery = 4096
+
 // Run executes events until the queue drains or Stop is called, and returns
 // the final clock value.
 func (e *Engine) Run() float64 {
+	t, _ := e.RunContext(context.Background(), DefaultCheckEvery)
+	return t
+}
+
+// RunContext executes events like Run but polls ctx every checkEvery events
+// (DefaultCheckEvery if <= 0) and aborts mid-simulation with ctx's error
+// when it is cancelled. A SIGINT therefore unwinds a long run after at most
+// checkEvery more events rather than only once the queue drains.
+func (e *Engine) RunContext(ctx context.Context, checkEvery uint64) (float64, error) {
+	if checkEvery <= 0 {
+		checkEvery = DefaultCheckEvery
+	}
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {
+		if e.fired%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.now, err
+			}
+		}
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.fired++
 		ev.fire()
 	}
-	return e.now
+	return e.now, nil
 }
 
 // Pending reports the number of events still queued.
