@@ -12,7 +12,11 @@ package stellar
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"stellar/internal/cluster"
@@ -25,6 +29,7 @@ import (
 	"stellar/internal/platform"
 	"stellar/internal/rag"
 	"stellar/internal/runcache"
+	"stellar/internal/server"
 	"stellar/internal/workload"
 )
 
@@ -161,6 +166,37 @@ func BenchmarkEvaluateUncached(b *testing.B) {
 // BenchmarkEvaluateUncached for the figure-regeneration dedup win.
 func BenchmarkEvaluateCached(b *testing.B) {
 	benchEvaluateWithPlatform(b, runcache.New(platform.Simulator{}, 0))
+}
+
+// BenchmarkServeEvaluate measures tuning-as-a-service throughput: repeated
+// identical HTTP evaluate requests against an in-process stellar-serve
+// handler. After the first iteration every trial is a cache hit, so this is
+// the steady-state serving cost — HTTP round trip + content-addressed key
+// hash + LRU lookup — to compare against BenchmarkEvaluateCached (the same
+// dedup without the HTTP layer) and BenchmarkEvaluateUncached. stellar-bench
+// -serve-requests N records the same measurement into BENCH_*.json.
+func BenchmarkServeEvaluate(b *testing.B) {
+	srv := server.New(server.Options{Scale: 0.25, Workers: runtime.GOMAXPROCS(0)})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := `{"workload":"IOR_16M","reps":8,"seed":99}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+	}
 }
 
 // BenchmarkFig8AblationParallel regenerates Figure 8 with its three

@@ -13,6 +13,10 @@
 //	                               # machine-readable wall-clock + cache stats per pass
 //	stellar-bench -platform record # serialize the full run set to -record-dir
 //	stellar-bench -platform replay # regenerate tables from recorded runs, no simulation
+//	stellar-bench -serve-requests 64 -json BENCH_serve.json
+//	                               # stellar-serve throughput: fire identical HTTP
+//	                               # evaluate requests at an in-process server
+//	                               # (combine with -fig to also run experiments)
 //
 // The -parallel fan-out is deterministic: tables are bit-identical to a
 // serial run with the same seed — and with -cache they stay bit-identical
@@ -25,26 +29,35 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"stellar/internal/cli"
 	"stellar/internal/experiments"
+	"stellar/internal/platform"
+	"stellar/internal/pool"
 	"stellar/internal/runcache"
+	"stellar/internal/server"
 )
 
 // benchRecord is one machine-readable measurement: the wall-clock cost of
-// one experiment regeneration pass plus the run cache's activity during it.
-// -json appends these to a file so BENCH_*.json trajectories can accumulate
-// across commits.
+// one experiment regeneration pass (or one server-throughput pass) plus the
+// run cache's activity during it. -json appends these to a file so
+// BENCH_*.json trajectories can accumulate across commits.
 type benchRecord struct {
 	Experiment string          `json:"experiment"`
 	Pass       int             `json:"pass"`
 	Seconds    float64         `json:"seconds"`
 	Platform   string          `json:"platform"`
 	Cache      *runcache.Stats `json:"cache,omitempty"` // delta over this pass
+	Requests   int             `json:"requests,omitempty"`
+	RPS        float64         `json:"rps,omitempty"`
 }
 
 // records accumulates the per-pass measurements; jsonPath is the -json
@@ -64,6 +77,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "worker pool size for independent arms and repetitions (1 = serial)")
 		repeat   = flag.Int("repeat", 1, "regenerate each experiment this many times (cache-effectiveness runs)")
 		jsonOut  = flag.String("json", "", "write per-pass wall-clock and cache stats to this file as JSON")
+		serveN   = flag.Int("serve-requests", 0, "also measure stellar-serve throughput: fire this many identical HTTP evaluate requests at an in-process server and record the pass (0 = skip)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -89,30 +103,18 @@ func main() {
 		if cache != nil {
 			before = cache.Stats()
 		}
-		if id == "fig10" {
-			out, err := experiments.Fig10CaseStudy(ctx, cfg)
-			if err != nil {
-				fatal(fmt.Errorf("fig10: %w", err))
-			}
-			fmt.Println(out)
-		} else {
-			e, ok := experiments.Lookup(id)
-			if !ok {
-				fatal(fmt.Errorf("unknown experiment %q", id))
-			}
-			tbl, err := e.Run(ctx, cfg)
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", id, err))
-			}
-			fmt.Println(tbl.Render())
+		out, err := experiments.Run(ctx, id, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		fmt.Println(out)
 		elapsed := time.Since(t0)
 		rec := benchRecord{
 			Experiment: id, Pass: pass,
 			Seconds: elapsed.Seconds(), Platform: plat.Name(),
 		}
 		if cache != nil {
-			delta := statsDelta(before, cache.Stats())
+			delta := cache.Stats().Delta(before)
 			rec.Cache = &delta
 			if *pf.CacheStats {
 				fmt.Printf("(%s pass %d cache: %s)\n", id, pass, delta)
@@ -125,11 +127,8 @@ func main() {
 	ids := []string{}
 	if *fig != "" {
 		ids = append(ids, *fig)
-	} else {
-		for _, e := range experiments.All() {
-			ids = append(ids, e.ID)
-		}
-		ids = append(ids, "fig10")
+	} else if *serveN == 0 {
+		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		for pass := 1; pass <= *repeat; pass++ {
@@ -137,10 +136,75 @@ func main() {
 		}
 	}
 
+	if *serveN > 0 {
+		rec, err := servePass(ctx, plat, cache, cfg, *serveN)
+		if err != nil {
+			fatal(fmt.Errorf("serve: %w", err))
+		}
+		records = append(records, rec)
+		fmt.Printf("(serve: %d requests in %.3fs, %.1f req/s, cache: %s)\n",
+			rec.Requests, rec.Seconds, rec.RPS, rec.Cache)
+	}
+
 	if cache != nil && *pf.CacheStats {
 		fmt.Printf("run cache total [%s]: %s\n", plat.Name(), cache.Stats())
 	}
 	flushJSON()
+}
+
+// servePass measures tuning-as-a-service throughput: an in-process
+// stellar-serve instance on an ephemeral port, n identical evaluate
+// requests fanned over the experiment worker pool, recorded like any other
+// bench pass. The first request pays the simulations; the rest exercise the
+// shared run cache, so the rate reflects serving overhead at steady state.
+func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
+	cfg = cfg.Defaults()
+	srv := server.New(server.Options{
+		Backend: plat, Cache: cache,
+		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
+		Workers: cfg.Parallel, Parallel: 1, Backlog: n,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRecord{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	url := "http://" + ln.Addr().String() + "/v1/evaluate"
+	body := fmt.Sprintf(`{"workload":"IOR_16M","reps":%d,"seed":%d}`, cfg.Reps, cfg.Seed)
+	before := srv.Cache().Stats()
+	t0 := time.Now()
+	err = pool.Map(ctx, cfg.Parallel, n, func(ctx context.Context, i int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("request %d: HTTP %d", i, resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	elapsed := time.Since(t0).Seconds()
+	delta := srv.Cache().Stats().Delta(before)
+	return benchRecord{
+		Experiment: "serve", Pass: 1, Seconds: elapsed,
+		Platform: srv.Platform().Name(), Cache: &delta,
+		Requests: n, RPS: float64(n) / elapsed,
+	}, nil
 }
 
 // flushJSON writes whatever passes completed so far. Called on both the
@@ -157,20 +221,6 @@ func flushJSON() {
 	}
 	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "stellar-bench: writing -json file:", err)
-	}
-}
-
-// statsDelta subtracts the monotonic counters; gauge fields (Entries,
-// Capacity) keep their end-of-pass values.
-func statsDelta(before, after runcache.Stats) runcache.Stats {
-	return runcache.Stats{
-		Hits:      after.Hits - before.Hits,
-		Misses:    after.Misses - before.Misses,
-		Coalesced: after.Coalesced - before.Coalesced,
-		Bypassed:  after.Bypassed - before.Bypassed,
-		Evictions: after.Evictions - before.Evictions,
-		Entries:   after.Entries,
-		Capacity:  after.Capacity,
 	}
 }
 

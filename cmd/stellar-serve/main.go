@@ -1,0 +1,131 @@
+// Command stellar-serve exposes evaluation and figure regeneration as a
+// long-lived HTTP JSON service over one process-wide shared run cache, so
+// concurrent clients requesting the same (workload, configuration, seed)
+// triple trigger exactly one simulation.
+//
+// Usage:
+//
+//	stellar-serve                          # serve the simulator on :8351
+//	stellar-serve -addr :9000 -workers 8   # more concurrent jobs
+//	stellar-serve -platform replay -record-dir runs
+//	                                       # serve recorded runs, no simulation
+//
+// Example session:
+//
+//	curl -s localhost:8351/v1/evaluate -d '{"workload":"IOR_16M","reps":8,"seed":99}'
+//	curl -s -X POST localhost:8351/v1/figures/fig8
+//	curl -s localhost:8351/v1/jobs/job-2
+//	curl -s localhost:8351/v1/stats
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests get
+// their contexts cancelled (aborting simulations mid-run), asynchronous
+// jobs are cancelled, and the job queue drains before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stellar/internal/cli"
+	"stellar/internal/pool"
+	"stellar/internal/server"
+	"stellar/internal/workload"
+)
+
+// serveConfig carries the parsed flags; split from main so the end-to-end
+// smoke test can drive the exact serving path on an ephemeral port.
+type serveConfig struct {
+	addr     string
+	workers  int
+	backlog  int
+	reps     int
+	scale    float64
+	seed     int64
+	parallel int
+	pf       *cli.PlatformFlags
+}
+
+func main() {
+	cfg := serveConfig{}
+	flag.StringVar(&cfg.addr, "addr", ":8351", "listen address")
+	flag.IntVar(&cfg.workers, "workers", pool.Default(), "concurrently executing jobs")
+	flag.IntVar(&cfg.backlog, "backlog", 64, "jobs allowed to wait for a worker before requests get 429")
+	flag.IntVar(&cfg.reps, "reps", 8, "default repetitions for requests that omit them")
+	flag.Float64Var(&cfg.scale, "scale", workload.DefaultScale, "workload scale factor (1.0 = paper size)")
+	flag.Int64Var(&cfg.seed, "seed", 7, "default seed base for requests that omit one")
+	flag.IntVar(&cfg.parallel, "parallel", 1, "intra-job worker pool size (repetitions, figure arms)")
+	cfg.pf = cli.RegisterPlatformFlags()
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := serve(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the server until ctx is cancelled. onReady, when non-nil, is
+// called with the bound address once the listener is up.
+func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) error {
+	plat, cache, err := cfg.pf.Build()
+	if err != nil {
+		return err
+	}
+	// The service exists to share one cache across callers, so -cache is
+	// implied: when the flags did not stack one, the server builds its own
+	// over the selected backend.
+	srv := server.New(server.Options{
+		Backend:   plat,
+		Cache:     cache,
+		CacheSize: *cfg.pf.CacheSize,
+		Scale:     cfg.scale,
+		Seed:      cfg.seed,
+		Reps:      cfg.reps,
+		Workers:   cfg.workers,
+		Backlog:   cfg.backlog,
+		Parallel:  cfg.parallel,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Request contexts derive from the signal context: a SIGINT cancels
+		// every in-flight evaluation, which is what lets Shutdown drain
+		// promptly even mid-simulation.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	log.Printf("stellar-serve: listening on %s [platform %s, %d workers, backlog %d, scale %g]",
+		ln.Addr(), srv.Platform().Name(), cfg.workers, cfg.backlog, cfg.scale)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("stellar-serve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

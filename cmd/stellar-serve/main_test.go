@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stellar/internal/cli"
+)
+
+// TestServeEndToEnd is the smoke test for the whole binary path: the real
+// serve() loop on an ephemeral TCP port, 16 concurrent identical evaluate
+// requests, exactly one simulator run (asserted through the /v1/stats
+// counters), byte-identical bodies, and a clean ctx-driven shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	fs := flag.NewFlagSet("stellar-serve-test", flag.ContinueOnError)
+	pf := cli.RegisterPlatformFlagsOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := serveConfig{
+		addr:    "127.0.0.1:0",
+		workers: 16, backlog: 32,
+		reps: 1, scale: 0.05, seed: 7, parallel: 1,
+		pf: pf,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ctx, cfg, func(addr string) { addrc <- addr }) }()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	if resp, err := http.Get(base + "/v1/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	const n = 16
+	body := `{"workload":"IOR_16M","reps":1,"seed":99}`
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: HTTP %d (%v): %s", i, resp.StatusCode, err, data)
+				return
+			}
+			bodies[i] = data
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Platform string `json:"platform"`
+		Cache    struct {
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			Coalesced uint64 `json:"coalesced"`
+		} `json:"cache"`
+		Queue struct {
+			Workers int `json:"workers"`
+		} `json:"queue"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("stats: %v: %s", err, data)
+	}
+	if stats.Platform != "cache(sim)" {
+		t.Fatalf("platform = %q, want cache(sim)", stats.Platform)
+	}
+	if stats.Cache.Misses != 1 {
+		t.Fatalf("simulator ran %d times for %d identical requests, want exactly 1 (stats: %s)",
+			stats.Cache.Misses, n, data)
+	}
+	if got := stats.Cache.Hits + stats.Cache.Coalesced; got != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d (stats: %s)", got, n-1, data)
+	}
+	if stats.Queue.Workers != 16 {
+		t.Fatalf("workers = %d, want 16", stats.Queue.Workers)
+	}
+
+	cancel() // SIGINT equivalent
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeBadPlatformFlag: a bad backend selection must fail at startup,
+// not at first request.
+func TestServeBadPlatformFlag(t *testing.T) {
+	fs := flag.NewFlagSet("stellar-serve-test", flag.ContinueOnError)
+	pf := cli.RegisterPlatformFlagsOn(fs)
+	if err := fs.Parse([]string{"-platform", "cluster"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := serveConfig{addr: "127.0.0.1:0", pf: pf}
+	err := serve(context.Background(), cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown -platform") {
+		t.Fatalf("err = %v, want unknown -platform", err)
+	}
+}
+
+// TestServeAddrInUse: a bind failure surfaces as an error, not a hang.
+func TestServeAddrInUse(t *testing.T) {
+	fs := flag.NewFlagSet("stellar-serve-test", flag.ContinueOnError)
+	pf := cli.RegisterPlatformFlagsOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := serve(context.Background(), serveConfig{addr: "256.0.0.1:0", pf: pf}, nil)
+	if err == nil {
+		t.Fatal("serve on an invalid address succeeded")
+	}
+}

@@ -7,6 +7,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"stellar/internal/platform"
 	"stellar/internal/runcache"
@@ -23,25 +24,40 @@ type PlatformFlags struct {
 
 // RegisterPlatformFlags installs the shared flags on the default flag set.
 func RegisterPlatformFlags() *PlatformFlags {
+	return RegisterPlatformFlagsOn(flag.CommandLine)
+}
+
+// RegisterPlatformFlagsOn installs the shared flags on fs. Commands use the
+// default set via RegisterPlatformFlags; tests pass their own so parsing
+// different flag combinations never collides on redefined names.
+func RegisterPlatformFlagsOn(fs *flag.FlagSet) *PlatformFlags {
 	return &PlatformFlags{
-		Platform:   flag.String("platform", "sim", "measurement backend: sim (live simulator), record (simulate and serialize runs to -record-dir), replay (serve runs from -record-dir, no simulation)"),
-		RecordDir:  flag.String("record-dir", "runs", "directory for record/replay run sets"),
-		Cache:      flag.Bool("cache", false, "memoize runs in a content-addressed, singleflight-deduplicated cache"),
-		CacheSize:  flag.Int("cache-size", 0, "run cache capacity in entries (0 = default)"),
-		CacheStats: flag.Bool("cache-stats", false, "print run cache hit/miss statistics on exit"),
+		Platform:   fs.String("platform", "sim", "measurement backend: sim (live simulator), record (simulate and serialize runs to -record-dir), replay (serve runs from -record-dir, no simulation)"),
+		RecordDir:  fs.String("record-dir", "runs", "directory for record/replay run sets"),
+		Cache:      fs.Bool("cache", false, "memoize runs in a content-addressed, singleflight-deduplicated cache"),
+		CacheSize:  fs.Int("cache-size", 0, "run cache capacity in entries (0 = default)"),
+		CacheStats: fs.Bool("cache-stats", false, "print run cache hit/miss statistics on exit"),
 	}
 }
 
 // Build resolves the flags into a platform stack. The returned cache is nil
 // when -cache is off; when set it is already part of the returned Platform.
+// Record directories are validated here so a bad path fails at startup with
+// a usable message instead of failing per-trial mid-run.
 func (f *PlatformFlags) Build() (platform.Platform, *runcache.Cache, error) {
 	var base platform.Platform
 	switch *f.Platform {
 	case "sim":
 		base = platform.Simulator{}
 	case "record":
+		if err := checkRecordDir(*f.RecordDir, false); err != nil {
+			return nil, nil, err
+		}
 		base = &platform.Recorder{Inner: platform.Simulator{}, Dir: *f.RecordDir}
 	case "replay":
+		if err := checkRecordDir(*f.RecordDir, true); err != nil {
+			return nil, nil, err
+		}
 		base = &platform.Replayer{Dir: *f.RecordDir}
 	default:
 		return nil, nil, fmt.Errorf("unknown -platform %q (want sim, record, or replay)", *f.Platform)
@@ -51,4 +67,29 @@ func (f *PlatformFlags) Build() (platform.Platform, *runcache.Cache, error) {
 	}
 	cache := runcache.New(base, *f.CacheSize)
 	return cache, cache, nil
+}
+
+// checkRecordDir validates a -record-dir path. Replay requires an existing
+// directory (there is nothing to serve otherwise); record only requires
+// that the path, if present, is a directory — the recorder creates it on
+// first write.
+func checkRecordDir(dir string, mustExist bool) error {
+	if dir == "" {
+		return fmt.Errorf("-record-dir must not be empty")
+	}
+	info, err := os.Stat(dir)
+	switch {
+	case err == nil:
+		if !info.IsDir() {
+			return fmt.Errorf("-record-dir %q is not a directory", dir)
+		}
+		return nil
+	case os.IsNotExist(err):
+		if mustExist {
+			return fmt.Errorf("-platform replay: record dir %q does not exist", dir)
+		}
+		return nil
+	default:
+		return fmt.Errorf("-record-dir %q: %w", dir, err)
+	}
 }

@@ -197,9 +197,18 @@ func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.C
 // function of its index and each result lands in its own slot, so the
 // summary is bit-identical to a serial run.
 func (e *Engine) Evaluate(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) (stats.Summary, error) {
+	_, sum, err := e.EvaluateSeries(ctx, workloadName, cfg, reps, seedBase)
+	return sum, err
+}
+
+// EvaluateSeries is Evaluate exposed job-shaped: it additionally returns the
+// per-repetition wall times in repetition order, so a serving layer can hand
+// clients the raw measurement series alongside the summary without a second
+// pass. The returned slice is owned by the caller.
+func (e *Engine) EvaluateSeries(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
 	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
 	if err != nil {
-		return stats.Summary{}, err
+		return nil, stats.Summary{}, err
 	}
 	walls := make([]float64, reps)
 	err = pool.Map(ctx, e.opts.Parallel, reps, func(ctx context.Context, i int) error {
@@ -211,9 +220,9 @@ func (e *Engine) Evaluate(ctx context.Context, workloadName string, cfg params.C
 		return nil
 	})
 	if err != nil {
-		return stats.Summary{}, err
+		return nil, stats.Summary{}, err
 	}
-	return stats.Summarize(walls), nil
+	return walls, stats.Summarize(walls), nil
 }
 
 // TuneResult is the outcome of one complete Tuning Run.

@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit and Do when the backlog is at capacity.
+// Callers at a serving boundary should translate it into back-pressure
+// (HTTP 429) rather than blocking request handlers on a saturated queue.
+var ErrQueueFull = errors.New("pool: queue backlog full")
+
+// ErrQueueClosed is returned by Submit and Do after Close.
+var ErrQueueClosed = errors.New("pool: queue closed")
+
+// queueTask pairs a job with the context it runs under and a completion
+// signal synchronous callers can wait on.
+type queueTask struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+}
+
+// Queue is the long-lived counterpart to Map: a bounded executor for jobs
+// that arrive over time rather than as one fixed fan-out. At most `workers`
+// jobs run concurrently and at most `backlog` wait; beyond that Submit
+// fails fast with ErrQueueFull so admission control happens at the edge
+// instead of by unbounded buffering. Each job carries its own context, so
+// cancelling one caller (a disconnected HTTP client) aborts only that job.
+type Queue struct {
+	mu      sync.Mutex
+	tasks   chan queueTask
+	closed  bool
+	wg      sync.WaitGroup
+	running atomic.Int64
+}
+
+// NewQueue starts a queue with the given worker count (values below 1 mean
+// one worker) and backlog capacity (values below 0 mean 0: Submit succeeds
+// only when a worker is free to pick the job up promptly).
+func NewQueue(workers, backlog int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	q := &Queue{tasks: make(chan queueTask, backlog)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for t := range q.tasks {
+		q.running.Add(1)
+		// A job whose caller already gave up still runs: fn receives the
+		// dead context and is expected to unwind immediately (every run
+		// path in this codebase checks ctx first). Skipping it here would
+		// leave synchronous waiters guessing whether fn observed the
+		// cancellation.
+		t.fn(t.ctx)
+		q.running.Add(-1)
+		close(t.done)
+	}
+}
+
+// Submit enqueues fn to run with ctx on a free worker and returns without
+// waiting. It fails fast with ErrQueueFull when the backlog is at capacity
+// and ErrQueueClosed after Close.
+func (q *Queue) Submit(ctx context.Context, fn func(context.Context)) error {
+	_, err := q.submit(ctx, fn)
+	return err
+}
+
+func (q *Queue) submit(ctx context.Context, fn func(context.Context)) (chan struct{}, error) {
+	t := queueTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	select {
+	case q.tasks <- t:
+		return t.done, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Do enqueues fn and waits for it to finish — the synchronous entry point
+// request handlers use so a caller occupies exactly one queue slot for the
+// duration of its job. Cancelling ctx aborts the job (fn sees the dead
+// context) but Do still waits for fn to return before it does: the closure
+// may reference caller-owned state, so returning while it runs would race.
+func (q *Queue) Do(ctx context.Context, fn func(context.Context)) error {
+	done, err := q.submit(ctx, fn)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Depth returns the number of jobs waiting for a worker.
+func (q *Queue) Depth() int { return len(q.tasks) }
+
+// Running returns the number of jobs currently executing.
+func (q *Queue) Running() int { return int(q.running.Load()) }
+
+// Close stops admission, waits for queued and running jobs to drain, and
+// returns. Jobs that should not run to completion must be cancelled through
+// their own contexts before Close is called.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.tasks)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

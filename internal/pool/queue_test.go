@@ -1,0 +1,138 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsSubmittedJobs(t *testing.T) {
+	// Backlog covers the full burst: all 32 callers may enqueue before any
+	// worker picks a job up, and Do fails fast rather than blocking.
+	q := NewQueue(4, 32)
+	defer q.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q.Do(context.Background(), func(context.Context) { ran.Add(1) }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+}
+
+func TestQueueDoWaitsForCompletion(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	done := false
+	if err := q.Do(context.Background(), func(context.Context) {
+		time.Sleep(10 * time.Millisecond)
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// No race: Do must not return before the closure finished.
+	if !done {
+		t.Fatal("Do returned before the job completed")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("backlog slot should accept: %v", err)
+	}
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != ErrQueueFull {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if d := q.Depth(); d != 1 {
+		t.Fatalf("Depth = %d, want 1", d)
+	}
+	if r := q.Running(); r != 1 {
+		t.Fatalf("Running = %d, want 1", r)
+	}
+	close(release)
+}
+
+func TestQueuePerJobCancellation(t *testing.T) {
+	q := NewQueue(2, 4)
+	defer q.Close()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+
+	saw1 := make(chan error, 1)
+	saw2 := make(chan error, 1)
+	started := make(chan struct{}, 2)
+	blockUntilDone := func(out chan error) func(context.Context) {
+		return func(ctx context.Context) {
+			started <- struct{}{}
+			select {
+			case <-ctx.Done():
+				out <- ctx.Err()
+			case <-time.After(2 * time.Second):
+				out <- nil
+			}
+		}
+	}
+	if err := q.Submit(ctx1, blockUntilDone(saw1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(ctx2, blockUntilDone(saw2)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	<-started
+	cancel1()
+	if err := <-saw1; err != context.Canceled {
+		t.Fatalf("job 1 saw %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-saw2:
+		t.Fatalf("job 2 finished with %v; cancelling job 1 must not touch it", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel2() // release job 2 so Close does not wait out its timeout
+	<-saw2
+}
+
+func TestQueueCloseDrainsAndRejects(t *testing.T) {
+	q := NewQueue(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := q.Submit(context.Background(), func(context.Context) { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("Close drained %d jobs, want 8", got)
+	}
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("got %v, want ErrQueueClosed", err)
+	}
+	if err := q.Do(context.Background(), func(context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("got %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}

@@ -50,6 +50,22 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(total)
 }
 
+// Delta returns the change in the monotonic counters since the `before`
+// snapshot; the gauge fields (Entries, Capacity) keep s's current values.
+// It is how callers attribute cache activity to one bounded piece of work —
+// a bench pass, a served job — out of a process-wide shared cache.
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - before.Hits,
+		Misses:    s.Misses - before.Misses,
+		Coalesced: s.Coalesced - before.Coalesced,
+		Bypassed:  s.Bypassed - before.Bypassed,
+		Evictions: s.Evictions - before.Evictions,
+		Entries:   s.Entries,
+		Capacity:  s.Capacity,
+	}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("hits %d, coalesced %d, misses %d, bypassed %d, evictions %d, resident %d/%d (hit rate %.0f%%)",
 		s.Hits, s.Coalesced, s.Misses, s.Bypassed, s.Evictions, s.Entries, s.Capacity, s.HitRate()*100)

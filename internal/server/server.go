@@ -1,0 +1,523 @@
+// Package server exposes evaluation and figure-regeneration as a long-lived
+// tuning-as-a-service HTTP JSON API over the platform abstraction. Every
+// CLI entry point so far has been one-shot: each invocation rebuilds its
+// engines and throws the run cache away on exit. The server instead routes
+// all simulator work through one process-wide shared runcache.Cache, so
+// concurrent clients requesting the same (workload, configuration, seed)
+// triple trigger exactly one simulation — the singleflight table coalesces
+// the in-flight ones, the LRU serves the rest — and results are
+// content-addressed and re-servable for the life of the process.
+//
+// Work is admitted through a bounded job queue (internal/pool.Queue):
+// evaluations run synchronously under the request context, so a client
+// disconnect cancels the in-flight simulation all the way down into the
+// discrete-event loop; figure and sweep regenerations run asynchronously as
+// jobs that are polled via GET /v1/jobs/{id} and cancelled via DELETE.
+//
+// Endpoints:
+//
+//	POST   /v1/evaluate     measure a configuration (synchronous)
+//	POST   /v1/figures/{id} submit a figure/sweep regeneration job (202)
+//	GET    /v1/jobs         list retained jobs
+//	GET    /v1/jobs/{id}    poll one job's status and result
+//	DELETE /v1/jobs/{id}    cancel a queued or running job
+//	GET    /v1/stats        cache counters, queue depth, job tallies
+//	GET    /v1/healthz      liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/experiments"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/params"
+	"stellar/internal/platform"
+	"stellar/internal/pool"
+	"stellar/internal/runcache"
+	"stellar/internal/stats"
+	"stellar/internal/workload"
+)
+
+// Options configures a Server. The zero value serves the live simulator at
+// the default scale with one worker per core.
+type Options struct {
+	// Backend is the measurement substrate (simulator, recorder, replayer).
+	// Nil selects the in-process simulator. The server always interposes a
+	// run cache over it; pass Cache to supply one already built (Backend is
+	// then ignored).
+	Backend platform.Platform
+	// Cache, when non-nil, is the process-wide run cache to serve from.
+	Cache *runcache.Cache
+	// CacheSize bounds the cache built over Backend when Cache is nil
+	// (0 = runcache.DefaultCapacity).
+	CacheSize int
+
+	Spec  cluster.Spec // zero value = cluster.Default()
+	Scale float64      // workload scale (0 = workload.DefaultScale)
+	Seed  int64        // default seed base for requests that omit one (0 = 7)
+	Reps  int          // default repetitions for requests that omit them (0 = 8)
+
+	// MaxReps bounds per-request repetitions; beyond it a request is
+	// rejected with 400 rather than occupying a worker for an unbounded
+	// measurement (0 = 64).
+	MaxReps int
+
+	// Workers bounds concurrently executing jobs (0 = one per core);
+	// Backlog bounds jobs waiting for a worker (0 = 64; beyond it requests
+	// fail fast with 429). Parallel is the intra-job fan-out each running
+	// job may use for its repetitions and figure arms (0 = 1, serial).
+	Workers  int
+	Backlog  int
+	Parallel int
+
+	// MaxJobs bounds the retained job registry (0 = 512); the oldest
+	// finished jobs are pruned first.
+	MaxJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Spec.ClientNodes == 0 {
+		o.Spec = cluster.Default()
+	}
+	if o.Scale == 0 {
+		o.Scale = workload.DefaultScale
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	if o.Reps == 0 {
+		o.Reps = 8
+	}
+	if o.MaxReps == 0 {
+		o.MaxReps = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = pool.Default()
+	}
+	if o.Backlog == 0 {
+		o.Backlog = 64
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// Server is the tuning-as-a-service state: one shared cache-backed
+// platform, one engine, one bounded job queue, and the job registry.
+type Server struct {
+	opts  Options
+	cache *runcache.Cache
+	eng   *core.Engine
+	queue *pool.Queue
+	jobs  *jobStore
+	start time.Time
+
+	// baseCtx parents every asynchronous job, so Close cancels them all;
+	// synchronous evaluations are parented by their request contexts
+	// instead, which is what makes a client disconnect cancel the run.
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New builds a server. Call Close when done to cancel outstanding jobs and
+// drain the queue.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	cache := opts.Cache
+	if cache == nil {
+		backend := opts.Backend
+		if backend == nil {
+			backend = platform.Simulator{}
+		}
+		cache = runcache.New(backend, opts.CacheSize)
+	}
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:          opts.Spec,
+		TuningModel:   simllm.Claude37,
+		AnalysisModel: simllm.GPT4o,
+		ExtractModel:  simllm.GPT4o,
+		Scale:         opts.Scale,
+		Seed:          opts.Seed,
+		Parallel:      opts.Parallel,
+		Platform:      cache,
+	})
+	ctx, stop := context.WithCancel(context.Background())
+	return &Server{
+		opts:    opts,
+		cache:   cache,
+		eng:     eng,
+		queue:   pool.NewQueue(opts.Workers, opts.Backlog),
+		jobs:    newJobStore(opts.MaxJobs),
+		start:   time.Now(),
+		baseCtx: ctx,
+		stop:    stop,
+	}
+}
+
+// Cache exposes the process-wide run cache (tests and stats reporting).
+func (s *Server) Cache() *runcache.Cache { return s.cache }
+
+// Platform returns the measurement stack requests execute on.
+func (s *Server) Platform() platform.Platform { return s.cache }
+
+// Close cancels all asynchronous jobs and waits for the queue to drain.
+func (s *Server) Close() {
+	s.stop()
+	s.queue.Close()
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/figures/{id}", s.handleFigure)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// ----------------------------------------------------------------------
+// POST /v1/evaluate
+// ----------------------------------------------------------------------
+
+// EvaluateRequest measures one configuration on one workload. Omitted reps
+// and seed fall back to the server defaults; an omitted config measures the
+// platform defaults.
+type EvaluateRequest struct {
+	Workload string           `json:"workload"`
+	Config   map[string]int64 `json:"config,omitempty"`
+	Reps     int              `json:"reps,omitempty"`
+	Seed     int64            `json:"seed,omitempty"`
+}
+
+// EvaluateResponse is the measurement summary plus the raw per-repetition
+// series. Field order is fixed, so identical requests serialize to
+// byte-identical bodies — the property the concurrency tests pin down.
+type EvaluateResponse struct {
+	Workload     string    `json:"workload"`
+	Reps         int       `json:"reps"`
+	Seed         int64     `json:"seed"`
+	Scale        float64   `json:"scale"`
+	MeanSeconds  float64   `json:"mean_s"`
+	CI90Seconds  float64   `json:"ci90_s"`
+	WallsSeconds []float64 `json:"walls_s"`
+	Platform     string    `json:"platform"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload")
+		return
+	}
+	reps := req.Reps
+	if reps == 0 {
+		reps = s.opts.Reps
+	}
+	if reps < 1 || reps > s.opts.MaxReps {
+		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	cfg := params.Config{}
+	for k, v := range req.Config {
+		p, ok := s.eng.Registry().Get(k)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown parameter %q", k)
+			return
+		}
+		if !p.Writable {
+			writeError(w, http.StatusBadRequest, "parameter %q is read-only", k)
+			return
+		}
+		cfg[k] = v
+	}
+
+	job := s.jobs.create("evaluate", req.Workload)
+	// The run context descends from the request (client disconnect cancels
+	// it mid-simulation) but also carries its own cancel so DELETE
+	// /v1/jobs/{id} works on evaluate jobs too.
+	rctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	job.setCancel(cancel)
+	var (
+		resp   *EvaluateResponse
+		runErr error
+	)
+	// Synchronous: Do returns only after the closure finished, so
+	// resp/runErr are safely published.
+	qerr := s.queue.Do(rctx, func(ctx context.Context) {
+		job.start()
+		walls, sum, err := func() (walls []float64, sum stats.Summary, err error) {
+			// A panic below must cost this job, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("evaluate panicked: %v", r)
+				}
+			}()
+			return s.eng.EvaluateSeries(ctx, req.Workload, cfg, reps, seed)
+		}()
+		if err != nil {
+			runErr = err
+			return
+		}
+		resp = &EvaluateResponse{
+			Workload:     req.Workload,
+			Reps:         reps,
+			Seed:         seed,
+			Scale:        s.opts.Scale,
+			MeanSeconds:  sum.Mean,
+			CI90Seconds:  sum.CI90,
+			WallsSeconds: walls,
+			Platform:     s.cache.Name(),
+		}
+	})
+	if qerr != nil {
+		job.fail(qerr, nil)
+		status := http.StatusServiceUnavailable
+		if errors.Is(qerr, pool.ErrQueueFull) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", qerr)
+		return
+	}
+	if runErr != nil {
+		job.fail(runErr, nil)
+		status := http.StatusInternalServerError
+		if errors.Is(runErr, workload.ErrUnknown) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "%v", runErr)
+		return
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		job.fail(err, nil)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	job.finish(data, nil)
+	writeRaw(w, http.StatusOK, data)
+}
+
+// ----------------------------------------------------------------------
+// POST /v1/figures/{id}
+// ----------------------------------------------------------------------
+
+// FigureRequest optionally overrides the experiment protocol for one job.
+type FigureRequest struct {
+	Reps  int     `json:"reps,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// FigureResult is the payload stored on a completed figure job.
+type FigureResult struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !experiments.Valid(id) {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (known: %v)", id, experiments.IDs())
+		return
+	}
+	var req FigureRequest
+	if r.ContentLength != 0 {
+		if !decodeBody(w, r, &req) {
+			return
+		}
+	}
+	// Overrides get the same admission checks as evaluate: a queue worker
+	// must never be handed values that crash or pin it.
+	if req.Reps < 0 || req.Reps > s.opts.MaxReps {
+		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, req.Reps)
+		return
+	}
+	if req.Scale < 0 || req.Scale > 1.0 {
+		writeError(w, http.StatusBadRequest, "scale must be in (0, 1.0], got %g", req.Scale)
+		return
+	}
+	cfg := experiments.Config{
+		Spec:     s.opts.Spec,
+		Scale:    s.opts.Scale,
+		Reps:     s.opts.Reps,
+		Seed:     s.opts.Seed,
+		Parallel: s.opts.Parallel,
+		Platform: s.cache,
+	}
+	if req.Reps != 0 {
+		cfg.Reps = req.Reps
+	}
+	if req.Scale != 0 {
+		cfg.Scale = req.Scale
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+
+	job := s.jobs.create("figure", id)
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	job.setCancel(cancel)
+	before := s.cache.Stats()
+	err := s.queue.Submit(jctx, func(ctx context.Context) {
+		defer cancel()
+		job.start()
+		out, runErr := func() (out string, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("experiment panicked: %v", r)
+				}
+			}()
+			return experiments.Run(ctx, id, cfg)
+		}()
+		// The delta is attributed to this job; with concurrent jobs on one
+		// shared cache it is approximate, which /v1/stats documents.
+		delta := s.cache.Stats().Delta(before)
+		if runErr != nil {
+			job.fail(runErr, &delta)
+			return
+		}
+		data, mErr := json.Marshal(FigureResult{ID: id, Text: out})
+		if mErr != nil {
+			job.fail(mErr, &delta)
+			return
+		}
+		job.finish(data, &delta)
+	})
+	if err != nil {
+		cancel()
+		job.fail(err, nil)
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, pool.ErrQueueFull) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// ----------------------------------------------------------------------
+// Jobs and stats
+// ----------------------------------------------------------------------
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if job.terminal() {
+		writeJSON(w, http.StatusOK, job.view())
+		return
+	}
+	job.requestCancel()
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+// QueueStats is the queue capacity snapshot in /v1/stats.
+type QueueStats struct {
+	Workers int `json:"workers"`
+	Backlog int `json:"backlog"`
+	Depth   int `json:"depth"`   // jobs waiting for a worker
+	Running int `json:"running"` // jobs currently executing
+}
+
+// StatsResponse is the capacity-monitoring snapshot: run cache
+// effectiveness counters (process lifetime), queue depth, and job tallies.
+type StatsResponse struct {
+	Platform      string            `json:"platform"`
+	UptimeSeconds float64           `json:"uptime_s"`
+	Cache         runcache.Stats    `json:"cache"`
+	Queue         QueueStats        `json:"queue"`
+	Jobs          map[JobStatus]int `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Platform:      s.cache.Name(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+		Queue: QueueStats{
+			Workers: s.opts.Workers,
+			Backlog: s.opts.Backlog,
+			Depth:   s.queue.Depth(),
+			Running: s.queue.Running(),
+		},
+		Jobs: s.jobs.counts(),
+	})
+}
+
+// ----------------------------------------------------------------------
+// Helpers
+// ----------------------------------------------------------------------
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// decodeBody parses a JSON request body (1 MiB bound, unknown fields
+// rejected), writing a 400 and returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeRaw(w, status, data)
+}
+
+func writeRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)+1))
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stellar/internal/platform"
+	"stellar/internal/runcache"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Scale == 0 {
+		opts.Scale = 0.05
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestConcurrentIdenticalEvaluates is the service's core contract: 16
+// concurrent identical requests produce exactly one simulator run (the
+// singleflight table coalesces the in-flight ones) and byte-identical
+// response bodies.
+func TestConcurrentIdenticalEvaluates(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 16, Backlog: 32})
+
+	const n = 16
+	body := `{"workload":"IOR_16M","reps":1,"seed":99}`
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := post(t, ts.URL+"/v1/evaluate", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: HTTP %d: %s", i, resp.StatusCode, data)
+				return
+			}
+			bodies[i] = data
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	st := s.Cache().Stats()
+	if st.Misses != 1 {
+		t.Fatalf("backend executed %d runs, want exactly 1 (stats: %s)", st.Misses, st)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d, want %d (stats: %s)", st.Hits, st.Coalesced, n-1, st)
+	}
+}
+
+// TestEvaluateDistinctSeedsAreDistinctRuns guards the counter's meaning:
+// different specs must not be conflated by the cache.
+func TestEvaluateDistinctSeedsAreDistinctRuns(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	for seed := 1; seed <= 3; seed++ {
+		resp, data := post(t, ts.URL+"/v1/evaluate",
+			fmt.Sprintf(`{"workload":"IOR_16M","reps":1,"seed":%d}`, seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: HTTP %d: %s", seed, resp.StatusCode, data)
+		}
+	}
+	if st := s.Cache().Stats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (stats: %s)", st.Misses, st)
+	}
+}
+
+// blockingPlatform blocks every Run until its context dies, reporting what
+// it observed — the probe proving a client disconnect reaches the platform.
+type blockingPlatform struct {
+	started chan struct{}
+	saw     chan error
+}
+
+func (b *blockingPlatform) Name() string { return "blocking" }
+
+func (b *blockingPlatform) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
+	b.started <- struct{}{}
+	<-ctx.Done()
+	b.saw <- ctx.Err()
+	return nil, ctx.Err()
+}
+
+// TestClientDisconnectCancelsRun: dropping the HTTP request cancels the
+// request context, which must propagate through the queue and the cache
+// into the running Platform.Run.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 1), saw: make(chan error, 1)}
+	_, ts := newTestServer(t, Options{Backend: bp})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/evaluate",
+		strings.NewReader(`{"workload":"IOR_16M","reps":1,"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	select {
+	case <-bp.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation never started")
+	}
+	cancel() // client walks away mid-simulation
+
+	select {
+	case err := <-bp.saw:
+		if err != context.Canceled {
+			t.Fatalf("platform saw %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never reached the platform")
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("client request unexpectedly succeeded")
+	}
+}
+
+// TestFigureJobLifecycle drives the asynchronous path end to end: submit,
+// poll to completion, fetch the rendered result.
+func TestFigureJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Reps: 2})
+
+	// fig2 is LLM-only (no simulation), so the job completes quickly.
+	resp, data := post(t, ts.URL+"/v1/figures/fig2", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("submit response: %v: %s", err, data)
+	}
+	if v.Kind != "figure" || v.Target != "fig2" {
+		t.Fatalf("job view = %+v", v)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, data = get(t, ts.URL+"/v1/jobs/"+v.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: HTTP %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobDone || v.Status == JobFailed || v.Status == JobCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", v.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v.Status != JobDone {
+		t.Fatalf("job finished %q (error %q)", v.Status, v.Error)
+	}
+	var res FigureResult
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		t.Fatalf("result payload: %v: %s", err, v.Result)
+	}
+	if res.ID != "fig2" || !strings.Contains(res.Text, "Figure 2") {
+		t.Fatalf("unexpected figure result: %+v", res)
+	}
+	if v.Cache == nil {
+		t.Fatal("figure job missing cache-activity delta")
+	}
+}
+
+// TestFigureJobCancel: DELETE on a running job cancels its context; the
+// job lands in cancelled, not failed.
+func TestFigureJobCancel(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 1), saw: make(chan error, 8)}
+	_, ts := newTestServer(t, Options{Backend: bp})
+
+	resp, data := post(t, ts.URL+"/v1/figures/fig8", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	<-bp.started // fig8's initial traced run is now blocked in the backend
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d", dresp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data = get(t, ts.URL+"/v1/jobs/"+v.ID)
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobCancelled {
+			break
+		}
+		if v.Status == JobDone || v.Status == JobFailed {
+			t.Fatalf("job finished %q, want cancelled (error %q)", v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxReps: 8})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"missing workload", `{}`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"NoSuchBench","reps":1}`, http.StatusBadRequest},
+		{"unknown parameter", `{"workload":"IOR_16M","reps":1,"config":{"bogus.knob":1}}`, http.StatusBadRequest},
+		{"read-only parameter", `{"workload":"IOR_16M","reps":1,"config":{"version":1}}`, http.StatusBadRequest},
+		{"reps over limit", `{"workload":"IOR_16M","reps":9}`, http.StatusBadRequest},
+		{"negative reps", `{"workload":"IOR_16M","reps":-1}`, http.StatusBadRequest},
+		{"malformed json", `{"workload":`, http.StatusBadRequest},
+		{"unknown field", `{"workload":"IOR_16M","repz":3}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts.URL+"/v1/evaluate", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("HTTP %d, want %d: %s", resp.StatusCode, tc.status, data)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not structured: %s", data)
+			}
+		})
+	}
+
+	if resp, _ := post(t, ts.URL+"/v1/figures/nope", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown figure: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// Figure overrides get the same admission checks: a negative reps
+	// would otherwise panic inside a queue worker and kill the process.
+	figCases := []struct{ name, body string }{
+		{"figure negative reps", `{"reps":-3}`},
+		{"figure reps over limit", `{"reps":1000}`},
+		{"figure negative scale", `{"scale":-0.5}`},
+		{"figure scale over 1", `{"scale":4.0}`},
+	}
+	for _, tc := range figCases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts.URL+"/v1/figures/fig5", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400: %s", resp.StatusCode, data)
+			}
+		})
+	}
+}
+
+// TestEvaluateJobCancelViaDelete: evaluate jobs are cancellable through the
+// jobs API, not only by client disconnect.
+func TestEvaluateJobCancelViaDelete(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 1), saw: make(chan error, 1)}
+	_, ts := newTestServer(t, Options{Backend: bp})
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+			strings.NewReader(`{"workload":"IOR_16M","reps":1,"seed":6}`))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				err = fmt.Errorf("cancelled evaluate returned 200")
+			}
+		}
+		errc <- err
+	}()
+	<-bp.started // the evaluate job (job-1) is now blocked in the backend
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/job-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d, want 202", dresp.StatusCode)
+	}
+	select {
+	case err := <-bp.saw:
+		if err != context.Canceled {
+			t.Fatalf("platform saw %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DELETE never cancelled the evaluate job")
+	}
+	if err := <-errc; err != nil && strings.Contains(err.Error(), "200") {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data := get(t, ts.URL+"/v1/jobs/job-1")
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobCancelled {
+			break
+		}
+		if v.Status == JobDone {
+			t.Fatalf("job finished %q, want cancelled", v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after DELETE", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueueBackpressureHTTP: a saturated queue turns into 429, not
+// unbounded buffering.
+func TestQueueBackpressureHTTP(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 4), saw: make(chan error, 4)}
+	_, ts := newTestServer(t, Options{Backend: bp, Workers: 1, Backlog: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/evaluate",
+		strings.NewReader(`{"workload":"IOR_16M","reps":1,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-bp.started // the lone worker is now occupied, backlog is 0
+
+	resp, data := post(t, ts.URL+"/v1/evaluate", `{"workload":"IOR_16M","reps":1,"seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429: %s", resp.StatusCode, data)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if resp, data := post(t, ts.URL+"/v1/evaluate", `{"workload":"IOR_16M","reps":1,"seed":3}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: HTTP %d: %s", resp.StatusCode, data)
+	}
+
+	resp, data := get(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("stats body: %v: %s", err, data)
+	}
+	if st.Platform != "cache(sim)" {
+		t.Fatalf("platform = %q, want cache(sim)", st.Platform)
+	}
+	if st.Cache.Misses == 0 {
+		t.Fatalf("cache counters not surfaced: %+v", st.Cache)
+	}
+	if st.Queue.Workers < 1 {
+		t.Fatalf("queue stats not surfaced: %+v", st.Queue)
+	}
+	if st.Jobs[JobDone] != 1 {
+		t.Fatalf("job tally = %v, want 1 done", st.Jobs)
+	}
+
+	resp, data = get(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list: HTTP %d", resp.StatusCode)
+	}
+	var list []JobView
+	if err := json.Unmarshal(data, &list); err != nil || len(list) != 1 {
+		t.Fatalf("jobs list = %s (err %v)", data, err)
+	}
+
+	if resp, _ := get(t, ts.URL+"/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestSharedCacheAcrossServers proves Options.Cache makes the cache truly
+// process-wide: a second server over the same cache serves the first
+// server's results without re-simulating.
+func TestSharedCacheAcrossServers(t *testing.T) {
+	shared := runcache.New(platform.Simulator{}, 0)
+	_, ts1 := newTestServer(t, Options{Cache: shared})
+	_, ts2 := newTestServer(t, Options{Cache: shared})
+
+	body := `{"workload":"IOR_16M","reps":1,"seed":42}`
+	if resp, data := post(t, ts1.URL+"/v1/evaluate", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("server 1: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := post(t, ts2.URL+"/v1/evaluate", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("server 2: HTTP %d: %s", resp.StatusCode, data)
+	}
+	st := shared.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %s, want 1 miss + 1 hit", st)
+	}
+}

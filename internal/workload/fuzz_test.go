@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// families are the five workload generators of the paper's evaluation
+// (IOR, MDWorkbench, IO500, AMReX, MACSio) across their catalog variants,
+// plus the Figure 1 extras, so the fuzzer reaches every generator path.
+func families() []string {
+	names := append(append([]string{}, Benchmarks()...), RealApps()...)
+	return append(names, Extras()...)
+}
+
+// FuzzWorkloadValidate is a property test over the whole workload catalog:
+// for any family, rank count, and scale in the supported 0.01–1.0 band, the
+// generated workload must pass Validate and its per-rank op streams must
+// stay barrier-balanced — every rank reaches every MPI_Barrier, since a
+// single missing barrier op deadlocks the simulated job forever.
+func FuzzWorkloadValidate(f *testing.F) {
+	// Seed every family at the scale extremes and the default, so plain
+	// `go test` (which runs only the corpus) already sweeps the catalog.
+	for fam := range families() {
+		f.Add(uint8(fam), uint16(4), 0.01)
+		f.Add(uint8(fam), uint16(8), DefaultScale)
+		f.Add(uint8(fam), uint16(3), 1.0)
+	}
+	f.Add(uint8(0), uint16(1), 0.5)   // single rank
+	f.Add(uint8(4), uint16(64), 0.02) // wide job (IO500)
+
+	f.Fuzz(func(t *testing.T, fam uint8, ranks uint16, scale float64) {
+		names := families()
+		name := names[int(fam)%len(names)]
+		// Map arbitrary fuzz inputs into the supported domain: ranks in
+		// [1, 64], scale in [0.01, 1.0]. In-domain values pass through
+		// untouched so the corpus extremes (0.01, DefaultScale, 1.0) test
+		// exactly those scales, full paper size included.
+		r := int(ranks)%64 + 1
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = DefaultScale
+		}
+		if scale < 0.01 || scale > 1.0 {
+			scale = 0.01 + math.Abs(math.Mod(scale, 1.0))*0.99
+		}
+
+		w, err := Catalog(name, r, scale)
+		if err != nil {
+			t.Fatalf("Catalog(%q, %d, %g): %v", name, r, scale, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("Validate(%q, %d ranks, scale %g): %v", name, r, scale, err)
+		}
+		if got := w.NumRanks(); got != r {
+			t.Fatalf("%q: NumRanks = %d, want %d", name, got, r)
+		}
+
+		// Barrier balance: every rank must carry the same number of
+		// barrier ops, or some rank waits on a barrier nobody else joins.
+		want := -1
+		for ri, ops := range w.Ranks {
+			barriers := 0
+			for _, op := range ops {
+				if op.Type == OpBarrier {
+					barriers++
+				}
+			}
+			if want == -1 {
+				want = barriers
+			} else if barriers != want {
+				t.Fatalf("%q (%d ranks, scale %g): rank %d has %d barriers, rank 0 has %d",
+					name, r, scale, ri, barriers, want)
+			}
+		}
+
+		// The workload must do something: zero total ops would make every
+		// measured wall time vacuous.
+		if w.TotalOps() == 0 {
+			t.Fatalf("%q (%d ranks, scale %g): empty op streams", name, r, scale)
+		}
+	})
+}

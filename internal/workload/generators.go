@@ -1,9 +1,14 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
+
+// ErrUnknown marks Catalog failures for names outside the workload catalog,
+// so serving layers can distinguish a bad request from an execution error.
+var ErrUnknown = errors.New("unknown workload")
 
 // Scale is the default fraction of the paper's full workload sizes used by
 // the experiment harness. The op mix, access patterns, sharing, and file
@@ -458,7 +463,7 @@ func Catalog(name string, ranks int, scale float64) (*Workload, error) {
 	case "H5Bench":
 		return H5Bench(ranks, scale), nil
 	}
-	return nil, fmt.Errorf("workload: unknown workload %q", name)
+	return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 }
 
 // Benchmarks lists the five benchmark workloads of Figure 5/6.
