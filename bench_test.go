@@ -12,11 +12,13 @@ package stellar
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"stellar/internal/cluster"
@@ -198,6 +200,66 @@ func BenchmarkServeEvaluate(b *testing.B) {
 		}
 	}
 }
+
+// benchServeConcurrent is BenchmarkServeEvaluate under 16-way client
+// concurrency: 16 goroutines fire identical evaluate requests at one
+// in-process server, so after warm-up every request is a cache lookup and
+// the benchmark measures lock contention on the shared cache itself.
+func benchServeConcurrent(b *testing.B, shards int) {
+	b.Helper()
+	srv := server.New(server.Options{
+		Scale: 0.25, Workers: 32, Backlog: 64, CacheShards: shards,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := `{"workload":"IOR_16M","reps":8,"seed":99}`
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warm the cache outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 16)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				errs[g] = post()
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkServeEvaluateConcurrent is the sharded cache under the server's
+// 16-way fan-out; compare with BenchmarkServeEvaluateConcurrentSingleShard
+// (the old single-mutex layout) to see what sharding buys under contention.
+func BenchmarkServeEvaluateConcurrent(b *testing.B) { benchServeConcurrent(b, 0) }
+
+// BenchmarkServeEvaluateConcurrentSingleShard forces every key onto one
+// mutex — the pre-sharding baseline the sharded cache must never lose to.
+func BenchmarkServeEvaluateConcurrentSingleShard(b *testing.B) { benchServeConcurrent(b, 1) }
 
 // BenchmarkFig8AblationParallel regenerates Figure 8 with its three
 // independent arms fanned over the worker pool, the experiment-level

@@ -17,6 +17,10 @@
 //	                               # stellar-serve throughput: fire identical HTTP
 //	                               # evaluate requests at an in-process server
 //	                               # (combine with -fig to also run experiments)
+//	stellar-bench -sweep-requests 16 -cache-dir cachedir -json BENCH_sweep.json
+//	                               # batch sweep API: one POST /v1/sweeps with a
+//	                               # 16-cell grid, NDJSON streamed back; records
+//	                               # shard + persistence cache effectiveness
 //
 // The -parallel fan-out is deterministic: tables are bit-identical to a
 // serial run with the same seed — and with -cache they stay bit-identical
@@ -25,6 +29,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -34,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -78,6 +84,7 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "regenerate each experiment this many times (cache-effectiveness runs)")
 		jsonOut  = flag.String("json", "", "write per-pass wall-clock and cache stats to this file as JSON")
 		serveN   = flag.Int("serve-requests", 0, "also measure stellar-serve throughput: fire this many identical HTTP evaluate requests at an in-process server and record the pass (0 = skip)")
+		sweepN   = flag.Int("sweep-requests", 0, "also measure the batch sweep API: POST one parameter grid with this many cells to an in-process server, stream the NDJSON results, and record the pass with shard/persistence cache stats (0 = skip)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -127,7 +134,7 @@ func main() {
 	ids := []string{}
 	if *fig != "" {
 		ids = append(ids, *fig)
-	} else if *serveN == 0 {
+	} else if *serveN == 0 && *sweepN == 0 {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
@@ -143,6 +150,16 @@ func main() {
 		}
 		records = append(records, rec)
 		fmt.Printf("(serve: %d requests in %.3fs, %.1f req/s, cache: %s)\n",
+			rec.Requests, rec.Seconds, rec.RPS, rec.Cache)
+	}
+
+	if *sweepN > 0 {
+		rec, err := sweepPass(ctx, plat, cache, cfg, *sweepN)
+		if err != nil {
+			fatal(fmt.Errorf("sweep: %w", err))
+		}
+		records = append(records, rec)
+		fmt.Printf("(sweep: %d cells in %.3fs, %.1f cells/s, cache: %s)\n",
 			rec.Requests, rec.Seconds, rec.RPS, rec.Cache)
 	}
 
@@ -207,9 +224,85 @@ func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 	}, nil
 }
 
+// sweepPass measures the batch sweep API: an in-process stellar-serve
+// instance, one POST /v1/sweeps whose grid expands to n cells (n values of
+// one parameter), the NDJSON stream consumed to completion. The recorded
+// cache delta carries the shard count and persistence counters, so a
+// BENCH_*.json trajectory shows how much of a grid the sharded cache and
+// the disk directory absorbed.
+func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
+	cfg = cfg.Defaults()
+	srv := server.New(server.Options{
+		Backend: plat, Cache: cache,
+		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
+		Workers: cfg.Parallel, Parallel: 1, Backlog: n, MaxSweepCells: n,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRecord{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// n cells: n distinct values of one well-understood parameter, so every
+	// cell is a unique spec and the recorded miss count means what it says.
+	// (Values past the registry range are clamped at run time but still
+	// hash to distinct cache keys.)
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprint(i + 1) // osc.max_pages_per_rpc
+	}
+	body := fmt.Sprintf(`{"workload":"IOR_16M","reps":%d,"seed":%d,"grid":{"osc.max_pages_per_rpc":[%s]}}`,
+		cfg.Reps, cfg.Seed, strings.Join(vals, ","))
+
+	before := srv.Cache().Stats()
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+ln.Addr().String()+"/v1/sweeps", strings.NewReader(body))
+	if err != nil {
+		return benchRecord{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return benchRecord{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var footer server.SweepFooter
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last []byte
+	for sc.Scan() {
+		last = append(last[:0], sc.Bytes()...)
+	}
+	if err := sc.Err(); err != nil {
+		return benchRecord{}, err
+	}
+	if err := json.Unmarshal(last, &footer); err != nil {
+		return benchRecord{}, fmt.Errorf("parsing sweep footer: %w", err)
+	}
+	if footer.Done != n {
+		return benchRecord{}, fmt.Errorf("sweep completed %d/%d cells (%d failed)", footer.Done, n, footer.Failed)
+	}
+	elapsed := time.Since(t0).Seconds()
+	delta := srv.Cache().Stats().Delta(before)
+	return benchRecord{
+		Experiment: "sweep", Pass: 1, Seconds: elapsed,
+		Platform: srv.Platform().Name(), Cache: &delta,
+		Requests: n, RPS: float64(n) / elapsed,
+	}, nil
+}
+
 // flushJSON writes whatever passes completed so far. Called on both the
 // success path and from fatal, so a SIGINT during pass N still leaves the
-// first N-1 records in the -json file.
+// first N-1 records in the -json file. The write is atomic (temp file +
+// rename): an interrupt mid-write must never leave a truncated BENCH_*.json
+// behind where a previous complete one stood.
 func flushJSON() {
 	if jsonPath == "" || records == nil {
 		return
@@ -219,7 +312,21 @@ func flushJSON() {
 		fmt.Fprintln(os.Stderr, "stellar-bench: marshaling -json records:", err)
 		return
 	}
-	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(jsonPath), filepath.Base(jsonPath)+".tmp*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stellar-bench: writing -json file:", err)
+		return
+	}
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), jsonPath)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
 		fmt.Fprintln(os.Stderr, "stellar-bench: writing -json file:", err)
 	}
 }

@@ -7,12 +7,15 @@
 //
 //	stellar-serve                          # serve the simulator on :8351
 //	stellar-serve -addr :9000 -workers 8   # more concurrent jobs
+//	stellar-serve -cache-dir cachedir      # persist runs; warm-start on restart
 //	stellar-serve -platform replay -record-dir runs
 //	                                       # serve recorded runs, no simulation
 //
 // Example session:
 //
 //	curl -s localhost:8351/v1/evaluate -d '{"workload":"IOR_16M","reps":8,"seed":99}'
+//	curl -s localhost:8351/v1/sweeps -d '{"workload":"IOR_16M","reps":2,
+//	       "grid":{"osc.max_pages_per_rpc":[256,512,1024]}}'
 //	curl -s -X POST localhost:8351/v1/figures/fig8
 //	curl -s localhost:8351/v1/jobs/job-2
 //	curl -s localhost:8351/v1/stats
@@ -83,17 +86,21 @@ func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) erro
 	}
 	// The service exists to share one cache across callers, so -cache is
 	// implied: when the flags did not stack one, the server builds its own
-	// over the selected backend.
+	// over the selected backend — honouring -cache-size, -cache-shards, and
+	// -cache-dir, so `stellar-serve -cache-dir d` warm-starts from d's
+	// recorded runs after a restart.
 	srv := server.New(server.Options{
-		Backend:   plat,
-		Cache:     cache,
-		CacheSize: *cfg.pf.CacheSize,
-		Scale:     cfg.scale,
-		Seed:      cfg.seed,
-		Reps:      cfg.reps,
-		Workers:   cfg.workers,
-		Backlog:   cfg.backlog,
-		Parallel:  cfg.parallel,
+		Backend:     plat,
+		Cache:       cache,
+		CacheSize:   *cfg.pf.CacheSize,
+		CacheShards: *cfg.pf.CacheShards,
+		CacheDir:    *cfg.pf.CacheDir,
+		Scale:       cfg.scale,
+		Seed:        cfg.seed,
+		Reps:        cfg.reps,
+		Workers:     cfg.workers,
+		Backlog:     cfg.backlog,
+		Parallel:    cfg.parallel,
 	})
 	defer srv.Close()
 

@@ -15,11 +15,13 @@ import (
 
 // PlatformFlags is the common flag set for selecting a measurement backend.
 type PlatformFlags struct {
-	Platform   *string
-	RecordDir  *string
-	Cache      *bool
-	CacheSize  *int
-	CacheStats *bool
+	Platform    *string
+	RecordDir   *string
+	Cache       *bool
+	CacheSize   *int
+	CacheShards *int
+	CacheDir    *string
+	CacheStats  *bool
 }
 
 // RegisterPlatformFlags installs the shared flags on the default flag set.
@@ -32,56 +34,69 @@ func RegisterPlatformFlags() *PlatformFlags {
 // different flag combinations never collides on redefined names.
 func RegisterPlatformFlagsOn(fs *flag.FlagSet) *PlatformFlags {
 	return &PlatformFlags{
-		Platform:   fs.String("platform", "sim", "measurement backend: sim (live simulator), record (simulate and serialize runs to -record-dir), replay (serve runs from -record-dir, no simulation)"),
-		RecordDir:  fs.String("record-dir", "runs", "directory for record/replay run sets"),
-		Cache:      fs.Bool("cache", false, "memoize runs in a content-addressed, singleflight-deduplicated cache"),
-		CacheSize:  fs.Int("cache-size", 0, "run cache capacity in entries (0 = default)"),
-		CacheStats: fs.Bool("cache-stats", false, "print run cache hit/miss statistics on exit"),
+		Platform:    fs.String("platform", "sim", "measurement backend: sim (live simulator), record (simulate and serialize runs to -record-dir), replay (serve runs from -record-dir, no simulation)"),
+		RecordDir:   fs.String("record-dir", "runs", "directory for record/replay run sets"),
+		Cache:       fs.Bool("cache", false, "memoize runs in a content-addressed, sharded, singleflight-deduplicated cache"),
+		CacheSize:   fs.Int("cache-size", 0, "run cache capacity in entries across all shards (0 = default)"),
+		CacheShards: fs.Int("cache-shards", 0, "run cache shard count (0 = default)"),
+		CacheDir:    fs.String("cache-dir", "", "write-through run cache persistence directory: completed runs land there as <key>.json and later processes warm-start from them (implies -cache)"),
+		CacheStats:  fs.Bool("cache-stats", false, "print run cache hit/miss statistics on exit"),
 	}
 }
 
 // Build resolves the flags into a platform stack. The returned cache is nil
-// when -cache is off; when set it is already part of the returned Platform.
-// Record directories are validated here so a bad path fails at startup with
-// a usable message instead of failing per-trial mid-run.
+// when caching is off; when set it is already part of the returned
+// Platform. -cache-dir implies -cache (persistence without a cache would be
+// pointless). Record and cache directories are validated here so a bad path
+// fails at startup with a usable message instead of failing per-trial
+// mid-run.
 func (f *PlatformFlags) Build() (platform.Platform, *runcache.Cache, error) {
 	var base platform.Platform
 	switch *f.Platform {
 	case "sim":
 		base = platform.Simulator{}
 	case "record":
-		if err := checkRecordDir(*f.RecordDir, false); err != nil {
+		if err := checkDir("-record-dir", *f.RecordDir, false); err != nil {
 			return nil, nil, err
 		}
 		base = &platform.Recorder{Inner: platform.Simulator{}, Dir: *f.RecordDir}
 	case "replay":
-		if err := checkRecordDir(*f.RecordDir, true); err != nil {
+		if err := checkDir("-record-dir", *f.RecordDir, true); err != nil {
 			return nil, nil, err
 		}
 		base = &platform.Replayer{Dir: *f.RecordDir}
 	default:
 		return nil, nil, fmt.Errorf("unknown -platform %q (want sim, record, or replay)", *f.Platform)
 	}
-	if !*f.Cache {
+	if !*f.Cache && *f.CacheDir == "" {
 		return base, nil, nil
 	}
-	cache := runcache.New(base, *f.CacheSize)
+	if *f.CacheDir != "" {
+		if err := checkDir("-cache-dir", *f.CacheDir, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	cache := runcache.NewWithOptions(base, runcache.Options{
+		Capacity: *f.CacheSize,
+		Shards:   *f.CacheShards,
+		Dir:      *f.CacheDir,
+	})
 	return cache, cache, nil
 }
 
-// checkRecordDir validates a -record-dir path. Replay requires an existing
-// directory (there is nothing to serve otherwise); record only requires
-// that the path, if present, is a directory — the recorder creates it on
-// first write.
-func checkRecordDir(dir string, mustExist bool) error {
+// checkDir validates a directory-valued flag. Replay requires an existing
+// directory (there is nothing to serve otherwise); record and cache
+// persistence only require that the path, if present, is a directory — the
+// writer creates it on first use.
+func checkDir(flagName, dir string, mustExist bool) error {
 	if dir == "" {
-		return fmt.Errorf("-record-dir must not be empty")
+		return fmt.Errorf("%s must not be empty", flagName)
 	}
 	info, err := os.Stat(dir)
 	switch {
 	case err == nil:
 		if !info.IsDir() {
-			return fmt.Errorf("-record-dir %q is not a directory", dir)
+			return fmt.Errorf("%s %q is not a directory", flagName, dir)
 		}
 		return nil
 	case os.IsNotExist(err):
@@ -90,6 +105,6 @@ func checkRecordDir(dir string, mustExist bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("-record-dir %q: %w", dir, err)
+		return fmt.Errorf("%s %q: %w", flagName, dir, err)
 	}
 }

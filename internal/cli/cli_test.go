@@ -70,6 +70,35 @@ func TestBuildCacheSize(t *testing.T) {
 	}
 }
 
+// TestBuildCacheDirImpliesCache: asking for persistence without -cache
+// still stacks a cache — persistence without one would be pointless — and
+// the built cache is write-through to the given directory.
+func TestBuildCacheDirImpliesCache(t *testing.T) {
+	dir := t.TempDir()
+	pf := parse(t, "-cache-dir", dir)
+	plat, cache, err := pf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache == nil || plat.Name() != "cache(sim)" {
+		t.Fatalf("platform = %q cache = %v, want cache(sim) with a cache", plat.Name(), cache)
+	}
+	if !cache.Persistent() {
+		t.Fatal("cache built from -cache-dir is not persistent")
+	}
+}
+
+func TestBuildCacheShards(t *testing.T) {
+	pf := parse(t, "-cache", "-cache-shards", "4")
+	_, cache, err := pf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Shards; got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	dir := t.TempDir()
 	file := filepath.Join(dir, "plain-file")
@@ -87,6 +116,7 @@ func TestBuildErrors(t *testing.T) {
 		{"record dir is a file", []string{"-platform", "record", "-record-dir", file}, "not a directory"},
 		{"replay empty dir flag", []string{"-platform", "replay", "-record-dir", ""}, "must not be empty"},
 		{"record empty dir flag", []string{"-platform", "record", "-record-dir", ""}, "must not be empty"},
+		{"cache dir is a file", []string{"-cache-dir", file}, "not a directory"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

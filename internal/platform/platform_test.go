@@ -2,6 +2,7 @@ package platform
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -147,6 +148,44 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	}
 	if again.WallTime != live.WallTime {
 		t.Fatal("untraced replay diverged")
+	}
+}
+
+// TestRecordingReadWriteRoundTrip pins the exported <key>.json helpers the
+// run cache's persistence layer builds on: write, read back, exact match,
+// and os.IsNotExist-compatible misses.
+func TestRecordingReadWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testRunSpec(t, 11)
+	res, err := Simulator{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recording{Key: spec.Key(), Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
+	if err := WriteRecording(dir, &rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecording(dir, spec.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&rec, got) {
+		t.Fatalf("recording round trip diverged:\n%+v\nvs\n%+v", rec, *got)
+	}
+	if _, err := ReadRecording(dir, "0000000000000000"); !os.IsNotExist(err) {
+		t.Fatalf("missing recording err = %v, want IsNotExist", err)
+	}
+	// Overwrite is atomic and last-writer-wins.
+	rec.Result.WallTime++
+	if err := WriteRecording(dir, &rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadRecording(dir, spec.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.WallTime != rec.Result.WallTime {
+		t.Fatal("rewrite not visible")
 	}
 }
 

@@ -11,15 +11,72 @@ import (
 	"stellar/internal/lustre"
 )
 
-// recording is the on-disk form of one trial: the measured result plus the
+// Recording is the on-disk form of one trial: the measured result plus the
 // full trace-event stream (when the original run had a sink attached), so a
-// replayed run can drive the same Darshan collection the live run did.
-type recording struct {
+// replayed run can drive the same Darshan collection the live run did. The
+// same <key>.json format backs both record/replay run sets and the run
+// cache's persistence directory (internal/runcache), so a recorded run set
+// doubles as a warm cache and vice versa.
+type Recording struct {
 	Key      string         `json:"key"`
 	Workload string         `json:"workload"`
 	Seed     int64          `json:"seed"`
 	Result   RunResult      `json:"result"`
 	Events   []lustre.Event `json:"events,omitempty"`
+}
+
+// WriteRecording persists rec to dir as <key>.json atomically (temp file +
+// rename), creating dir if needed, so a crash mid-write — or a concurrent
+// writer of the same key — never leaves a torn recording behind.
+func WriteRecording(dir string, rec *Recording) error {
+	tmp, err := stageRecording(dir, rec)
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, rec.Key+".json"))
+}
+
+// stageRecording marshals rec and writes it to a temp file in dir,
+// returning the temp path ready to be renamed into place. Splitting the
+// expensive part from the rename lets the Recorder serialize only the
+// exists-check/rename pair while staging runs concurrently across keys.
+func stageRecording(dir string, rec *Recording) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, rec.Key+".tmp*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+// ReadRecording loads the recording for key from dir. A missing file is
+// reported with os.IsNotExist-compatible wrapping so callers can distinguish
+// "never recorded" from a corrupt or unreadable file.
+func ReadRecording(dir, key string) (*Recording, error) {
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, err
+	}
+	var rec Recording
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("platform: corrupt recording %s: %w", key[:12], err)
+	}
+	return &rec, nil
 }
 
 // Recorder is a pass-through Platform that serializes every completed trial
@@ -30,7 +87,7 @@ type Recorder struct {
 	Inner Platform
 	Dir   string
 
-	// mu serializes the exists-check/rename pair in write so a concurrent
+	// mu serializes the exists-check/write pair in write so a concurrent
 	// event-less recording can never clobber a traced one for the same key.
 	mu sync.Mutex
 }
@@ -64,55 +121,35 @@ func (r *Recorder) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec := recording{Key: key, Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
+	rec := Recording{Key: key, Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
 	if tee != nil {
 		rec.Events = tee.events
 	}
-	if err := r.write(key, &rec); err != nil {
+	if err := r.write(&rec); err != nil {
 		return nil, fmt.Errorf("platform: recording %s: %w", key[:12], err)
 	}
 	return res, nil
 }
 
-// write persists atomically (temp file + rename) so concurrent runs of the
-// same spec — or a crash mid-write — never leave a torn recording behind.
-// Traced and untraced runs of one spec share a key and an identical result;
-// an event-less recording never replaces an existing one, which may carry
-// the richer traced form. The marshal and temp-file I/O run outside the
-// lock; only the exists-check and rename are serialized, so distinct keys
-// still record concurrently.
-func (r *Recorder) write(key string, rec *recording) error {
-	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
-		return err
-	}
-	final := filepath.Join(r.Dir, key+".json")
-	data, err := json.Marshal(rec)
+// write persists atomically. Traced and untraced runs of one spec share a
+// key and an identical result; an event-less recording never replaces an
+// existing one, which may carry the richer traced form. The marshal and
+// temp-file I/O run outside the lock; only the exists-check and rename are
+// serialized, so distinct keys still record concurrently.
+func (r *Recorder) write(rec *Recording) error {
+	tmp, err := stageRecording(r.Dir, rec)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(r.Dir, key+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(rec.Events) == 0 {
-		if _, err := os.Stat(final); err == nil {
-			os.Remove(tmp.Name())
+		if _, err := os.Stat(filepath.Join(r.Dir, rec.Key+".json")); err == nil {
+			os.Remove(tmp)
 			return nil
 		}
 	}
-	return os.Rename(tmp.Name(), final)
+	return os.Rename(tmp, filepath.Join(r.Dir, rec.Key+".json"))
 }
 
 // Replayer serves trials from a directory of recordings and never touches a
@@ -132,14 +169,13 @@ func (r *Replayer) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		return nil, err
 	}
 	key := spec.Key()
-	data, err := os.ReadFile(filepath.Join(r.Dir, key+".json"))
+	rec, err := ReadRecording(r.Dir, key)
 	if err != nil {
-		return nil, fmt.Errorf("platform: no recording for %s seed %d (key %s) in %s: %w",
-			spec.Workload.Name, spec.Seed, key[:12], r.Dir, err)
-	}
-	var rec recording
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, fmt.Errorf("platform: corrupt recording %s: %w", key[:12], err)
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("platform: no recording for %s seed %d (key %s) in %s: %w",
+				spec.Workload.Name, spec.Seed, key[:12], r.Dir, err)
+		}
+		return nil, err
 	}
 	if spec.Trace != nil {
 		if len(rec.Events) == 0 {

@@ -30,7 +30,11 @@ type queueTask struct {
 // instead of by unbounded buffering. Each job carries its own context, so
 // cancelling one caller (a disconnected HTTP client) aborts only that job.
 type Queue struct {
-	mu      sync.Mutex
+	// mu is an RWMutex so blocking senders (DoWait) can hold a read lock
+	// across their channel send: Close takes the write lock, so it cannot
+	// close the task channel while any send is in progress, and senders
+	// cannot begin once closed is set.
+	mu      sync.RWMutex
 	tasks   chan queueTask
 	closed  bool
 	wg      sync.WaitGroup
@@ -80,8 +84,8 @@ func (q *Queue) Submit(ctx context.Context, fn func(context.Context)) error {
 
 func (q *Queue) submit(ctx context.Context, fn func(context.Context)) (chan struct{}, error) {
 	t := queueTask{ctx: ctx, fn: fn, done: make(chan struct{})}
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	if q.closed {
 		return nil, ErrQueueClosed
 	}
@@ -90,6 +94,25 @@ func (q *Queue) submit(ctx context.Context, fn func(context.Context)) (chan stru
 		return t.done, nil
 	default:
 		return nil, ErrQueueFull
+	}
+}
+
+// submitWait is submit without the fail-fast: when the backlog is full it
+// blocks until a slot frees up or ctx dies. The read lock is held across
+// the blocking send (see the Queue.mu comment), which is safe because
+// workers keep draining the channel regardless of the lock.
+func (q *Queue) submitWait(ctx context.Context, fn func(context.Context)) (chan struct{}, error) {
+	t := queueTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	select {
+	case q.tasks <- t:
+		return t.done, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -107,6 +130,21 @@ func (q *Queue) Do(ctx context.Context, fn func(context.Context)) error {
 	return nil
 }
 
+// DoWait is Do for batch producers: instead of failing fast on a full
+// backlog it blocks until a slot opens (or ctx dies), then waits for fn to
+// finish. A sweep expanding hundreds of grid cells uses it so admission
+// control becomes backpressure on the one batch request rather than
+// hundreds of individual ErrQueueFull rejections — single-shot request
+// handlers should keep using Do so saturation surfaces as 429.
+func (q *Queue) DoWait(ctx context.Context, fn func(context.Context)) error {
+	done, err := q.submitWait(ctx, fn)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
 // Depth returns the number of jobs waiting for a worker.
 func (q *Queue) Depth() int { return len(q.tasks) }
 
@@ -117,6 +155,9 @@ func (q *Queue) Running() int { return int(q.running.Load()) }
 // returns. Jobs that should not run to completion must be cancelled through
 // their own contexts before Close is called.
 func (q *Queue) Close() {
+	// The write lock waits out any in-progress blocking send (DoWait holds
+	// the read lock across it), so closing the channel can never race a
+	// send. Workers keep draining while we wait, so those sends complete.
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()

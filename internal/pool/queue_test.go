@@ -116,6 +116,87 @@ func TestQueuePerJobCancellation(t *testing.T) {
 	<-saw2
 }
 
+// TestQueueDoWaitBlocksInsteadOfFailing: where Do fails fast on a full
+// backlog, DoWait applies backpressure — it parks until a slot frees and
+// then runs, which is what lets a sweep push a whole grid through a small
+// queue without per-cell rejections.
+func TestQueueDoWaitBlocksInsteadOfFailing(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; fill the lone backlog slot to saturate
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Do(context.Background(), func(context.Context) {}); err != ErrQueueFull {
+		t.Fatalf("Do = %v, want ErrQueueFull", err)
+	}
+
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() { done <- q.DoWait(context.Background(), func(context.Context) { ran.Add(1) }) }()
+	select {
+	case err := <-done:
+		t.Fatalf("DoWait returned %v while the queue was saturated", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release) // worker frees up, the parked DoWait proceeds
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d jobs, want 1", got)
+	}
+}
+
+// TestQueueDoWaitHonoursContext: a caller that gives up while parked on a
+// saturated queue unblocks with its context's error and its job never runs.
+func TestQueueDoWaitHonoursContext(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; fill the lone backlog slot to saturate
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() { done <- q.DoWait(ctx, func(context.Context) { ran.Add(1) }) }()
+	time.Sleep(10 * time.Millisecond) // let it park on the full backlog
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("DoWait = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("cancelled DoWait still ran its job %d times", got)
+	}
+}
+
+func TestQueueDoWaitAfterCloseRejects(t *testing.T) {
+	q := NewQueue(1, 1)
+	q.Close()
+	if err := q.DoWait(context.Background(), func(context.Context) {}); err != ErrQueueClosed {
+		t.Fatalf("got %v, want ErrQueueClosed", err)
+	}
+}
+
 func TestQueueCloseDrainsAndRejects(t *testing.T) {
 	q := NewQueue(2, 8)
 	var ran atomic.Int64

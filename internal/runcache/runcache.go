@@ -8,6 +8,18 @@
 // concurrent requests for the same key so a parallel fan-out issues exactly
 // one simulation per unique spec.
 //
+// The cache is sharded by key prefix: each shard owns its own mutex, LRU,
+// and in-flight table, so the serving layer's parallel fan-out contends on
+// 1/N of the lock traffic a single-mutex cache would see. Keys are hex
+// SHA-256 digests — uniformly distributed — so shards stay balanced.
+//
+// A cache built with a persistence directory is additionally write-through
+// to disk: every completed run is serialized as <key>.json in
+// internal/platform's recording format, and a miss consults the directory
+// before executing the backend. A restarted process over the same directory
+// therefore warm-starts — identical requests are disk hits, not misses —
+// and a record/replay run set doubles as a pre-seeded cache.
+//
 // Runs carrying a trace sink bypass the cache: their per-event side effects
 // happen outside the measured result, so serving them from memory would
 // silently drop the trace. (Record/replay, which does capture events, lives
@@ -19,56 +31,91 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"stellar/internal/platform"
 )
 
-// DefaultCapacity bounds the LRU when the caller passes capacity <= 0. A
+// DefaultCapacity bounds the cache when the caller passes capacity <= 0. A
 // full figure regeneration touches a few thousand unique specs; results are
 // small (a Result struct, no event streams), so this stays in the tens of
 // megabytes.
 const DefaultCapacity = 4096
 
-// Stats is a snapshot of cache effectiveness counters.
+// DefaultShards is the shard count when Options.Shards <= 0: enough that 16
+// concurrent requests rarely collide on one mutex, small enough that even a
+// tiny capacity still gives each shard a useful LRU.
+const DefaultShards = 16
+
+// maxShards bounds the shard count to the 256 values of the first key byte,
+// which is what the prefix-based shard pick can address.
+const maxShards = 256
+
+// Stats is a snapshot of cache effectiveness counters, aggregated across
+// all shards.
 type Stats struct {
-	Hits      uint64 `json:"hits"`      // served from the completed-run LRU
-	Misses    uint64 `json:"misses"`    // executed on the backend
-	Coalesced uint64 `json:"coalesced"` // joined an in-flight backend run
-	Bypassed  uint64 `json:"bypassed"`  // traced runs passed straight through
-	Evictions uint64 `json:"evictions"` // LRU entries dropped at capacity
-	Entries   int    `json:"entries"`   // current resident results
-	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`       // served from a shard's completed-run LRU
+	Misses    uint64 `json:"misses"`     // executed on the backend
+	Coalesced uint64 `json:"coalesced"`  // joined an in-flight backend run
+	Bypassed  uint64 `json:"bypassed"`   // traced runs passed straight through
+	Evictions uint64 `json:"evictions"`  // LRU entries dropped at capacity
+	DiskHits  uint64 `json:"disk_hits"`  // misses satisfied from the persistence dir
+	DiskErrs  uint64 `json:"disk_errs"`  // persistence reads/writes that failed (non-fatal)
+	Entries   int    `json:"entries"`    // current resident results
+	Capacity  int    `json:"capacity"`   // total capacity across shards
+	Shards    int    `json:"shards"`     // shard count
+	Persisted bool   `json:"persistent"` // write-through disk persistence enabled
 }
 
-// HitRate returns hits+coalesced over all cacheable lookups.
+// HitRate returns the fraction of cacheable lookups that avoided a backend
+// run: memory hits, coalesced waiters, and disk hits over all lookups.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses + s.Coalesced
+	total := s.Hits + s.Misses + s.Coalesced + s.DiskHits
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.Coalesced) / float64(total)
+	return float64(s.Hits+s.Coalesced+s.DiskHits) / float64(total)
 }
 
 // Delta returns the change in the monotonic counters since the `before`
-// snapshot; the gauge fields (Entries, Capacity) keep s's current values.
-// It is how callers attribute cache activity to one bounded piece of work —
-// a bench pass, a served job — out of a process-wide shared cache.
+// snapshot; the gauge fields (Entries, Capacity, Shards, Persisted) keep
+// s's current values. It is how callers attribute cache activity to one
+// bounded piece of work — a bench pass, a served job — out of a
+// process-wide shared cache. A `before` taken from a different or restarted
+// cache can carry counters larger than s's; each delta clamps at zero
+// rather than wrapping uint64 into astronomically large values.
 func (s Stats) Delta(before Stats) Stats {
 	return Stats{
-		Hits:      s.Hits - before.Hits,
-		Misses:    s.Misses - before.Misses,
-		Coalesced: s.Coalesced - before.Coalesced,
-		Bypassed:  s.Bypassed - before.Bypassed,
-		Evictions: s.Evictions - before.Evictions,
+		Hits:      sub(s.Hits, before.Hits),
+		Misses:    sub(s.Misses, before.Misses),
+		Coalesced: sub(s.Coalesced, before.Coalesced),
+		Bypassed:  sub(s.Bypassed, before.Bypassed),
+		Evictions: sub(s.Evictions, before.Evictions),
+		DiskHits:  sub(s.DiskHits, before.DiskHits),
+		DiskErrs:  sub(s.DiskErrs, before.DiskErrs),
 		Entries:   s.Entries,
 		Capacity:  s.Capacity,
+		Shards:    s.Shards,
+		Persisted: s.Persisted,
 	}
 }
 
+// sub is a - b clamped at zero for counter deltas across cache lifetimes.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("hits %d, coalesced %d, misses %d, bypassed %d, evictions %d, resident %d/%d (hit rate %.0f%%)",
-		s.Hits, s.Coalesced, s.Misses, s.Bypassed, s.Evictions, s.Entries, s.Capacity, s.HitRate()*100)
+	out := fmt.Sprintf("hits %d, coalesced %d, misses %d, disk hits %d, bypassed %d, evictions %d, resident %d/%d over %d shards (hit rate %.0f%%)",
+		s.Hits, s.Coalesced, s.Misses, s.DiskHits, s.Bypassed, s.Evictions, s.Entries, s.Capacity, s.Shards, s.HitRate()*100)
+	if s.DiskErrs > 0 {
+		out += fmt.Sprintf(", %d disk errors", s.DiskErrs)
+	}
+	return out
 }
 
 type entry struct {
@@ -83,14 +130,10 @@ type flight struct {
 	err  error
 }
 
-// Cache is a content-addressed, singleflight-deduplicated run cache. It
-// implements platform.Platform, so it stacks over any backend (simulator,
-// recorder, replayer) and under any consumer (core.Engine, experiments).
-// It is safe for concurrent use. Returned results are shared across
-// callers and must be treated as immutable.
-type Cache struct {
-	inner platform.Platform
-
+// shard is one independently locked slice of the cache: its own LRU,
+// in-flight table, and counters. A key maps to exactly one shard, so
+// singleflight semantics are unchanged by sharding.
+type shard struct {
 	mu       sync.Mutex
 	lru      *list.List // front = most recently used; values are *entry
 	items    map[string]*list.Element
@@ -99,61 +142,164 @@ type Cache struct {
 	stats    Stats
 }
 
+// Options configures a cache beyond the New defaults.
+type Options struct {
+	// Capacity bounds completed results across all shards
+	// (<= 0 = DefaultCapacity).
+	Capacity int
+	// Shards is the number of independently locked shards
+	// (<= 0 = DefaultShards, capped at 256).
+	Shards int
+	// Dir, when non-empty, enables write-through disk persistence: completed
+	// runs are serialized there as <key>.json (platform recording format)
+	// and misses consult it before executing the backend.
+	Dir string
+}
+
+// Cache is a content-addressed, singleflight-deduplicated, sharded run
+// cache. It implements platform.Platform, so it stacks over any backend
+// (simulator, recorder, replayer) and under any consumer (core.Engine,
+// experiments, the HTTP serving layer). It is safe for concurrent use.
+// Returned results are shared across callers and must be treated as
+// immutable.
+type Cache struct {
+	inner  platform.Platform
+	shards []*shard
+	dir    string
+}
+
 // New wraps inner in a cache holding at most capacity completed results
-// (DefaultCapacity if <= 0).
+// (DefaultCapacity if <= 0) across DefaultShards shards, with no disk
+// persistence.
 func New(inner platform.Platform, capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultCapacity
+	return NewWithOptions(inner, Options{Capacity: capacity})
+}
+
+// NewWithOptions wraps inner in a cache configured by opts.
+func NewWithOptions(inner platform.Platform, opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
 	}
-	return &Cache{
-		inner:    inner,
-		lru:      list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
-		capacity: capacity,
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
 	}
+	if opts.Shards > maxShards {
+		opts.Shards = maxShards
+	}
+	// A cache never holds more shards than entries, and the capacity is
+	// distributed so the aggregate equals the requested bound exactly — a
+	// `-cache-size 3` cache holds 3 results, not 3-rounded-up-per-shard.
+	if opts.Shards > opts.Capacity {
+		opts.Shards = opts.Capacity
+	}
+	c := &Cache{inner: inner, shards: make([]*shard, opts.Shards), dir: opts.Dir}
+	per, extra := opts.Capacity/opts.Shards, opts.Capacity%opts.Shards
+	for i := range c.shards {
+		cap := per
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = &shard{
+			lru:      list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*flight),
+			capacity: cap,
+		}
+	}
+	return c
 }
 
 // Name implements platform.Platform.
 func (c *Cache) Name() string { return "cache(" + c.inner.Name() + ")" }
 
-// Stats returns a snapshot of the effectiveness counters.
+// Persistent reports whether the cache writes through to a disk directory.
+func (c *Cache) Persistent() bool { return c.dir != "" }
+
+// shardFor maps a key to its shard by prefix. Keys are hex SHA-256, so the
+// first two hex digits reconstruct the digest's first byte — uniformly
+// distributed across shards.
+func (c *Cache) shardFor(key string) *shard {
+	return c.shards[int(hexByte(key))%len(c.shards)]
+}
+
+// hexByte decodes the first two hex characters of a key. Keys always come
+// from RunSpec.Key, so they are well-formed; anything else lands in a
+// well-defined (if arbitrary) shard rather than panicking.
+func hexByte(key string) byte {
+	if len(key) < 2 {
+		return 0
+	}
+	return hexNibble(key[0])<<4 | hexNibble(key[1])
+}
+
+func hexNibble(ch byte) byte {
+	switch {
+	case ch >= '0' && ch <= '9':
+		return ch - '0'
+	case ch >= 'a' && ch <= 'f':
+		return ch - 'a' + 10
+	case ch >= 'A' && ch <= 'F':
+		return ch - 'A' + 10
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the effectiveness counters aggregated across
+// shards. Shards are snapshotted one at a time, so under concurrent load
+// the aggregate is approximate by at most the operations in flight while it
+// was taken — fine for monitoring, and exact once callers quiesce (which is
+// what the counter-backed tests do).
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.lru.Len()
-	s.Capacity = c.capacity
-	return s
+	var out Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		out.Hits += sh.stats.Hits
+		out.Misses += sh.stats.Misses
+		out.Coalesced += sh.stats.Coalesced
+		out.Bypassed += sh.stats.Bypassed
+		out.Evictions += sh.stats.Evictions
+		out.DiskHits += sh.stats.DiskHits
+		out.DiskErrs += sh.stats.DiskErrs
+		out.Entries += sh.lru.Len()
+		out.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	out.Shards = len(c.shards)
+	out.Persisted = c.dir != ""
+	return out
 }
 
 // Run implements platform.Platform. The first caller for a key executes the
 // backend run; concurrent callers for the same key block until it completes
-// and share its result; later callers hit the LRU. Errors are not cached —
-// a failed run is retried by the next caller, and a coalesced waiter whose
-// own context is still live retries when the flight's owner was cancelled
-// (its cancellation must not poison unrelated callers sharing the cache).
+// and share its result; later callers hit the shard's LRU. With persistence
+// enabled, the flight owner consults the disk before the backend, and a
+// disk hit counts as DiskHits, not Misses. Errors are not cached — a failed
+// run is retried by the next caller, and a coalesced waiter whose own
+// context is still live retries when the flight's owner was cancelled (its
+// cancellation must not poison unrelated callers sharing the cache).
 func (c *Cache) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
 	if spec.Trace != nil {
-		c.mu.Lock()
-		c.stats.Bypassed++
-		c.mu.Unlock()
+		sh := c.shards[0]
+		sh.mu.Lock()
+		sh.stats.Bypassed++
+		sh.mu.Unlock()
 		return c.inner.Run(ctx, spec)
 	}
 	key := spec.Key()
+	sh := c.shardFor(key)
 
 	for {
-		c.mu.Lock()
-		if el, ok := c.items[key]; ok {
-			c.lru.MoveToFront(el)
-			c.stats.Hits++
+		sh.mu.Lock()
+		if el, ok := sh.items[key]; ok {
+			sh.lru.MoveToFront(el)
+			sh.stats.Hits++
 			res := el.Value.(*entry).res
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return res, nil
 		}
-		if f, ok := c.inflight[key]; ok {
-			c.stats.Coalesced++
-			c.mu.Unlock()
+		if f, ok := sh.inflight[key]; ok {
+			sh.stats.Coalesced++
+			sh.mu.Unlock()
 			select {
 			case <-f.done:
 				if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
@@ -165,39 +311,85 @@ func (c *Cache) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunRe
 			}
 		}
 		f := &flight{done: make(chan struct{})}
-		c.inflight[key] = f
-		c.stats.Misses++
-		c.mu.Unlock()
+		sh.inflight[key] = f
+		sh.mu.Unlock()
 
-		res, err := c.inner.Run(ctx, spec)
+		res, fromDisk, err := c.load(ctx, spec, key)
 		f.res, f.err = res, err
 
-		c.mu.Lock()
-		delete(c.inflight, key)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
 		if err == nil {
-			c.insertLocked(key, res)
+			sh.insertLocked(key, res)
+			if fromDisk {
+				sh.stats.DiskHits++
+			} else {
+				sh.stats.Misses++
+			}
+		} else if !fromDisk {
+			sh.stats.Misses++
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		close(f.done)
 		return res, err
 	}
+}
+
+// load resolves a cache miss: from the persistence directory when one is
+// configured and holds the key, otherwise by executing the backend (writing
+// the result through to disk on the way out). The disk I/O runs outside the
+// shard mutex — only the owning flight performs it, so other keys on the
+// shard proceed unblocked.
+func (c *Cache) load(ctx context.Context, spec platform.RunSpec, key string) (res *platform.RunResult, fromDisk bool, err error) {
+	if c.dir != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		rec, derr := platform.ReadRecording(c.dir, key)
+		switch {
+		case derr == nil:
+			out := rec.Result
+			return &out, true, nil
+		case !os.IsNotExist(derr):
+			// Corrupt or unreadable: fall through to the backend, which
+			// rewrites a clean recording, but count the anomaly.
+			c.diskErr()
+		}
+	}
+	res, err = c.inner.Run(ctx, spec)
+	if err == nil && c.dir != "" {
+		rec := platform.Recording{Key: key, Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
+		if werr := platform.WriteRecording(c.dir, &rec); werr != nil {
+			// Persistence is an accelerator, not a correctness dependency:
+			// a full disk must not fail measurements that already ran.
+			c.diskErr()
+		}
+	}
+	return res, false, err
+}
+
+func (c *Cache) diskErr() {
+	sh := c.shards[0]
+	sh.mu.Lock()
+	sh.stats.DiskErrs++
+	sh.mu.Unlock()
 }
 
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (c *Cache) insertLocked(key string, res *platform.RunResult) {
-	if el, ok := c.items[key]; ok {
-		c.lru.MoveToFront(el)
+func (sh *shard) insertLocked(key string, res *platform.RunResult) {
+	if el, ok := sh.items[key]; ok {
+		sh.lru.MoveToFront(el)
 		el.Value.(*entry).res = res
 		return
 	}
-	c.items[key] = c.lru.PushFront(&entry{key: key, res: res})
-	for c.lru.Len() > c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
-		c.stats.Evictions++
+	sh.items[key] = sh.lru.PushFront(&entry{key: key, res: res})
+	for sh.lru.Len() > sh.capacity {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.items, oldest.Value.(*entry).key)
+		sh.stats.Evictions++
 	}
 }

@@ -2,6 +2,8 @@ package runcache
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -203,7 +205,10 @@ func TestConcurrentDistinctSpecs(t *testing.T) {
 
 func TestLRUEvictionBounds(t *testing.T) {
 	backend := newCountingBackend(0)
-	cache := New(backend, 2)
+	// One shard so LRU order is global and the eviction victim is exactly
+	// the least recently used key; the sharded analogue (per-shard bounds,
+	// aggregate capacity) is pinned by TestShardedCapacityBounds.
+	cache := NewWithOptions(backend, Options{Capacity: 2, Shards: 1})
 	ctx := context.Background()
 
 	for seed := int64(0); seed < 3; seed++ {
@@ -257,6 +262,180 @@ func TestTracedRunsBypassTheCache(t *testing.T) {
 type nullSink struct{}
 
 func (nullSink) Record(lustre.Event) {}
+
+// TestShardedCapacityBounds: across many distinct specs the aggregate
+// resident count never exceeds the requested capacity, shard capacities sum
+// exactly to it, and every spec still round-trips correctly.
+func TestShardedCapacityBounds(t *testing.T) {
+	backend := newCountingBackend(0)
+	const capacity = 6
+	cache := NewWithOptions(backend, Options{Capacity: capacity, Shards: 4})
+	ctx := context.Background()
+
+	for seed := int64(0); seed < 20; seed++ {
+		if _, err := cache.Run(ctx, testRunSpec(t, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Capacity != capacity {
+		t.Fatalf("aggregate capacity = %d, want %d", s.Capacity, capacity)
+	}
+	if s.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", s.Shards)
+	}
+	if s.Entries > capacity {
+		t.Fatalf("resident %d exceeds capacity %d", s.Entries, capacity)
+	}
+	if s.Misses != 20 {
+		t.Fatalf("misses = %d, want 20 distinct specs", s.Misses)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("20 specs through capacity 6 evicted nothing")
+	}
+}
+
+// TestShardedSingleflight re-proves the core dedup contract on a multi-shard
+// cache: one key maps to one shard, so sharding must not change singleflight
+// semantics.
+func TestShardedSingleflight(t *testing.T) {
+	backend := newCountingBackend(10 * time.Millisecond)
+	cache := NewWithOptions(backend, Options{Shards: 32})
+	spec := testRunSpec(t, 21)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cache.Run(context.Background(), spec); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := backend.callsFor(spec.Key()); got != 1 {
+		t.Fatalf("backend ran %d times under concurrency, want 1", got)
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits+s.Coalesced != goroutines-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestShardDistribution: distinct specs spread over more than one shard —
+// the point of sharding — rather than all hashing to shard zero.
+func TestShardDistribution(t *testing.T) {
+	cache := NewWithOptions(newCountingBackend(0), Options{Shards: 4})
+	used := map[int]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		key := testRunSpec(t, seed).Key()
+		used[int(hexByte(key))%len(cache.shards)] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("12 distinct keys all landed in one shard of 4: %v", used)
+	}
+}
+
+// TestPersistenceWarmStart is the restart contract: a second cache over the
+// same directory — a fresh process in miniature — serves the identical
+// request set from disk with zero misses and identical results.
+func TestPersistenceWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	first := newCountingBackend(0)
+	warm := NewWithOptions(first, Options{Dir: dir})
+	want := make([]*platform.RunResult, 3)
+	for seed := int64(0); seed < 3; seed++ {
+		res, err := warm.Run(ctx, testRunSpec(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = res
+	}
+	if s := warm.Stats(); s.Misses != 3 || !s.Persisted {
+		t.Fatalf("first-life stats = %+v", s)
+	}
+
+	// "Restart": a brand-new cache and backend over the same directory.
+	second := newCountingBackend(0)
+	cold := NewWithOptions(second, Options{Dir: dir})
+	for seed := int64(0); seed < 3; seed++ {
+		res, err := cold.Run(ctx, testRunSpec(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Result, want[seed].Result) || res.WallTime != want[seed].WallTime {
+			t.Fatalf("seed %d: disk round trip changed the result", seed)
+		}
+	}
+	s := cold.Stats()
+	if s.Misses != 0 {
+		t.Fatalf("restarted cache re-simulated: %d misses (stats %s)", s.Misses, s)
+	}
+	if s.DiskHits != 3 {
+		t.Fatalf("disk hits = %d, want 3 (stats %s)", s.DiskHits, s)
+	}
+	if got := second.totalCalls(); got != 0 {
+		t.Fatalf("backend ran %d times after warm start, want 0", got)
+	}
+	// Once loaded, repeats are memory hits, not repeated disk reads.
+	if _, err := cold.Run(ctx, testRunSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Hits != 1 {
+		t.Fatalf("repeat after warm start: hits = %d, want 1", s.Hits)
+	}
+}
+
+// TestPersistenceSurvivesCorruptRecording: a torn or garbage <key>.json must
+// fall back to the backend (re-measuring and rewriting), never fail the run.
+func TestPersistenceSurvivesCorruptRecording(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := testRunSpec(t, 5)
+	if err := os.WriteFile(filepath.Join(dir, spec.Key()+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	backend := newCountingBackend(0)
+	cache := NewWithOptions(backend, Options{Dir: dir})
+	if _, err := cache.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.callsFor(spec.Key()); got != 1 {
+		t.Fatalf("backend ran %d times for a corrupt recording, want 1", got)
+	}
+	s := cache.Stats()
+	if s.DiskErrs == 0 {
+		t.Fatalf("corrupt recording not counted: %+v", s)
+	}
+	// The rewrite repaired the file: a fresh cache now warm-starts from it.
+	fresh := NewWithOptions(newCountingBackend(0), Options{Dir: dir})
+	if _, err := fresh.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if s := fresh.Stats(); s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("repaired recording did not warm-start: %+v", s)
+	}
+}
+
+// TestDeltaClampsAcrossCacheLifetimes: a `before` snapshot from a bigger
+// (different or pre-restart) cache must clamp to zero, not wrap uint64.
+func TestDeltaClampsAcrossCacheLifetimes(t *testing.T) {
+	before := Stats{Hits: 100, Misses: 50, Coalesced: 9, Bypassed: 3, Evictions: 7, DiskHits: 2}
+	now := Stats{Hits: 4, Misses: 60, Entries: 4, Capacity: 64, Shards: 2}
+	d := now.Delta(before)
+	if d.Hits != 0 || d.Coalesced != 0 || d.Bypassed != 0 || d.Evictions != 0 || d.DiskHits != 0 {
+		t.Fatalf("underflowing deltas not clamped: %+v", d)
+	}
+	if d.Misses != 10 {
+		t.Fatalf("Misses delta = %d, want 10", d.Misses)
+	}
+	if d.Entries != 4 || d.Capacity != 64 || d.Shards != 2 {
+		t.Fatalf("gauges not preserved: %+v", d)
+	}
+}
 
 // blockingBackend parks every Run until released, so a test can pin a
 // flight in the in-flight table while other callers coalesce on it.

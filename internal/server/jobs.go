@@ -21,18 +21,20 @@ const (
 	JobCancelled JobStatus = "cancelled" // aborted via DELETE or caller disconnect
 )
 
-// Job is one unit of served work: a synchronous evaluation or an
-// asynchronous figure regeneration. All fields are guarded by mu; handlers
-// only ever see immutable JobView snapshots.
+// Job is one unit of served work: a synchronous evaluation, an asynchronous
+// figure regeneration, or a streamed batch sweep. All fields are guarded by
+// mu; handlers only ever see immutable JobView snapshots.
 type Job struct {
 	mu       sync.Mutex
 	id       string
-	kind     string // "evaluate" | "figure"
+	kind     string // "evaluate" | "figure" | "sweep"
 	target   string // workload or experiment id
 	status   JobStatus
 	errMsg   string
 	result   json.RawMessage
 	cache    *runcache.Stats // cache-activity delta attributed to this job
+	done     int             // grid cells completed so far (sweep jobs)
+	total    int             // grid cells overall (sweep jobs)
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -51,6 +53,10 @@ type JobView struct {
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Cache    *runcache.Stats `json:"cache,omitempty"`
+	// Done/Total report batch progress for sweep jobs (cells completed out
+	// of cells submitted); both are zero for evaluate and figure jobs.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -59,6 +65,7 @@ func (j *Job) view() JobView {
 	v := JobView{
 		ID: j.id, Kind: j.kind, Target: j.target, Status: j.status,
 		Created: j.created, Error: j.errMsg, Result: j.result, Cache: j.cache,
+		Done: j.done, Total: j.total,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -81,6 +88,20 @@ func (j *Job) start() {
 	j.mu.Lock()
 	j.status = JobRunning
 	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// setTotal records the number of cells a sweep job will run.
+func (j *Job) setTotal(total int) {
+	j.mu.Lock()
+	j.total = total
+	j.mu.Unlock()
+}
+
+// cellDone bumps a sweep job's completed-cell count.
+func (j *Job) cellDone() {
+	j.mu.Lock()
+	j.done++
 	j.mu.Unlock()
 }
 

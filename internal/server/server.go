@@ -11,12 +11,15 @@
 // Work is admitted through a bounded job queue (internal/pool.Queue):
 // evaluations run synchronously under the request context, so a client
 // disconnect cancels the in-flight simulation all the way down into the
-// discrete-event loop; figure and sweep regenerations run asynchronously as
-// jobs that are polled via GET /v1/jobs/{id} and cancelled via DELETE.
+// discrete-event loop; figure regenerations run asynchronously as jobs that
+// are polled via GET /v1/jobs/{id} and cancelled via DELETE; batch sweeps
+// expand a parameter grid server-side, fan the cells through the queue, and
+// stream per-cell results back as NDJSON with partial progress on cancel.
 //
 // Endpoints:
 //
 //	POST   /v1/evaluate     measure a configuration (synchronous)
+//	POST   /v1/sweeps       measure a parameter grid (streamed NDJSON)
 //	POST   /v1/figures/{id} submit a figure/sweep regeneration job (202)
 //	GET    /v1/jobs         list retained jobs
 //	GET    /v1/jobs/{id}    poll one job's status and result
@@ -58,6 +61,14 @@ type Options struct {
 	// CacheSize bounds the cache built over Backend when Cache is nil
 	// (0 = runcache.DefaultCapacity).
 	CacheSize int
+	// CacheShards is the shard count of the cache built over Backend when
+	// Cache is nil (0 = runcache.DefaultShards).
+	CacheShards int
+	// CacheDir, when non-empty, makes the cache built over Backend
+	// write-through persistent: completed runs land there as <key>.json and
+	// a restarted server warm-starts from them instead of re-simulating.
+	// Ignored when Cache is supplied (build the cache with its own Dir).
+	CacheDir string
 
 	Spec  cluster.Spec // zero value = cluster.Default()
 	Scale float64      // workload scale (0 = workload.DefaultScale)
@@ -80,6 +91,11 @@ type Options struct {
 	// MaxJobs bounds the retained job registry (0 = 512); the oldest
 	// finished jobs are pruned first.
 	MaxJobs int
+
+	// MaxSweepCells bounds how many grid cells one POST /v1/sweeps request
+	// may expand to (0 = 1024); beyond it the request is rejected with 400
+	// before any cell runs.
+	MaxSweepCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +122,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallel == 0 {
 		o.Parallel = 1
+	}
+	if o.MaxSweepCells == 0 {
+		o.MaxSweepCells = 1024
 	}
 	return o
 }
@@ -137,7 +156,11 @@ func New(opts Options) *Server {
 		if backend == nil {
 			backend = platform.Simulator{}
 		}
-		cache = runcache.New(backend, opts.CacheSize)
+		cache = runcache.NewWithOptions(backend, runcache.Options{
+			Capacity: opts.CacheSize,
+			Shards:   opts.CacheShards,
+			Dir:      opts.CacheDir,
+		})
 	}
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
 		Spec:          opts.Spec,
@@ -178,6 +201,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("POST /v1/figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -240,13 +264,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := params.Config{}
 	for k, v := range req.Config {
-		p, ok := s.eng.Registry().Get(k)
-		if !ok {
-			writeError(w, http.StatusBadRequest, "unknown parameter %q", k)
-			return
-		}
-		if !p.Writable {
-			writeError(w, http.StatusBadRequest, "parameter %q is read-only", k)
+		if !s.checkParam(w, k) {
 			return
 		}
 		cfg[k] = v
@@ -266,6 +284,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// Synchronous: Do returns only after the closure finished, so
 	// resp/runErr are safely published.
 	qerr := s.queue.Do(rctx, func(ctx context.Context) {
+		// Cancelled (DELETE or client disconnect) while still waiting for a
+		// worker: report cancelled without starting the measurement.
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			return
+		}
 		job.start()
 		walls, sum, err := func() (walls []float64, sum stats.Summary, err error) {
 			// A panic below must cost this job, not the process.
@@ -382,6 +406,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	before := s.cache.Stats()
 	err := s.queue.Submit(jctx, func(ctx context.Context) {
 		defer cancel()
+		// Cancelled while still queued (DELETE before a worker was free, or
+		// server shutdown): the job must report cancelled promptly and its
+		// experiment must never start.
+		if err := ctx.Err(); err != nil {
+			job.fail(err, nil)
+			return
+		}
 		job.start()
 		out, runErr := func() (out string, err error) {
 			defer func() {

@@ -460,6 +460,365 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
+// sweepLines posts a sweep request and splits the NDJSON response into its
+// header, cell lines, and footer.
+func sweepLines(t *testing.T, url, body string) (SweepHeader, []SweepCell, SweepFooter) {
+	t.Helper()
+	resp, data := post(t, url+"/v1/sweeps", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("sweep response has %d lines: %s", len(lines), data)
+	}
+	var header SweepHeader
+	if err := json.Unmarshal(lines[0], &header); err != nil {
+		t.Fatalf("header line: %v: %s", err, lines[0])
+	}
+	var footer SweepFooter
+	if err := json.Unmarshal(lines[len(lines)-1], &footer); err != nil {
+		t.Fatalf("footer line: %v: %s", err, lines[len(lines)-1])
+	}
+	cells := make([]SweepCell, 0, len(lines)-2)
+	for _, line := range lines[1 : len(lines)-1] {
+		var c SweepCell
+		if err := json.Unmarshal(line, &c); err != nil {
+			t.Fatalf("cell line: %v: %s", err, line)
+		}
+		cells = append(cells, c)
+	}
+	return header, cells, footer
+}
+
+// TestSweepGridExpansion is the batch contract: one POST measures the whole
+// cross-product through the shared cache — every unique cell simulates
+// exactly once — and a repeated identical sweep is pure cache hits.
+func TestSweepGridExpansion(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 4, Backlog: 16})
+	body := `{"workload":"IOR_16M","reps":1,"seed":7,
+		"grid":{"osc.max_pages_per_rpc":[256,512],"osc.max_rpcs_in_flight":[8,16]}}`
+
+	header, cells, footer := sweepLines(t, ts.URL, body)
+	if header.Cells != 4 || header.Workload != "IOR_16M" || header.Reps != 1 {
+		t.Fatalf("header = %+v", header)
+	}
+	if len(cells) != 4 || footer.Done != 4 || footer.Failed != 0 || footer.Cancelled {
+		t.Fatalf("cells=%d footer=%+v", len(cells), footer)
+	}
+	seen := map[int]bool{}
+	for _, c := range cells {
+		if c.Error != "" {
+			t.Fatalf("cell %d failed: %s", c.Index, c.Error)
+		}
+		if c.MeanSeconds <= 0 || len(c.WallsSeconds) != 1 {
+			t.Fatalf("cell %d has no measurement: %+v", c.Index, c)
+		}
+		if c.Config["osc.max_pages_per_rpc"] == 0 || c.Config["osc.max_rpcs_in_flight"] == 0 {
+			t.Fatalf("cell %d config not expanded: %+v", c.Index, c.Config)
+		}
+		seen[c.Index] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cell indices not unique: %v", seen)
+	}
+	// 4 unique cells × 1 rep: exactly 4 backend runs, attributed to the pass.
+	if footer.Cache.Misses != 4 {
+		t.Fatalf("sweep delta misses = %d, want 4 (%s)", footer.Cache.Misses, footer.Cache)
+	}
+
+	// The identical grid again: all hits, zero new simulations.
+	_, _, footer2 := sweepLines(t, ts.URL, body)
+	if footer2.Done != 4 || footer2.Cache.Misses != 0 || footer2.Cache.Hits != 4 {
+		t.Fatalf("repeated sweep delta = %+v", footer2.Cache)
+	}
+	if st := s.Cache().Stats(); st.Misses != 4 {
+		t.Fatalf("process-wide misses = %d, want 4 (%s)", st.Misses, st)
+	}
+
+	// The sweep is a retained job with progress and a footer result.
+	resp, data := get(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs: HTTP %d", resp.StatusCode)
+	}
+	var jobs []JobView
+	if err := json.Unmarshal(data, &jobs); err != nil || len(jobs) != 2 {
+		t.Fatalf("jobs = %s (err %v)", data, err)
+	}
+	for _, j := range jobs {
+		if j.Kind != "sweep" || j.Status != JobDone || j.Done != 4 || j.Total != 4 {
+			t.Fatalf("sweep job view = %+v", j)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxReps: 8, MaxSweepCells: 4})
+	cases := []struct{ name, body string }{
+		{"missing workload", `{"grid":{"osc.max_dirty_mb":[1]}}`},
+		{"unknown workload", `{"workload":"NoSuchBench","grid":{"osc.max_dirty_mb":[1]}}`},
+		{"missing grid", `{"workload":"IOR_16M"}`},
+		{"empty grid axis", `{"workload":"IOR_16M","grid":{"osc.max_dirty_mb":[]}}`},
+		{"unknown grid parameter", `{"workload":"IOR_16M","grid":{"bogus.knob":[1]}}`},
+		{"read-only grid parameter", `{"workload":"IOR_16M","grid":{"version":[1]}}`},
+		{"unknown base parameter", `{"workload":"IOR_16M","base":{"bogus.knob":1},"grid":{"osc.max_dirty_mb":[1]}}`},
+		{"reps over limit", `{"workload":"IOR_16M","reps":9,"grid":{"osc.max_dirty_mb":[1]}}`},
+		{"grid too large", `{"workload":"IOR_16M","grid":{"osc.max_dirty_mb":[1,2,4,8,16]}}`},
+		{"malformed json", `{"workload":`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts.URL+"/v1/sweeps", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400: %s", resp.StatusCode, data)
+			}
+		})
+	}
+}
+
+// TestSweepBaseOverlay: base values apply to every cell, grid axes override.
+func TestSweepBaseOverlay(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	_, cells, footer := sweepLines(t, ts.URL,
+		`{"workload":"IOR_16M","reps":1,"base":{"osc.max_dirty_mb":64},
+		  "grid":{"osc.max_pages_per_rpc":[256,512]}}`)
+	if footer.Done != 2 {
+		t.Fatalf("footer = %+v", footer)
+	}
+	for _, c := range cells {
+		if c.Config["osc.max_dirty_mb"] != 64 {
+			t.Fatalf("cell %d lost the base value: %+v", c.Index, c.Config)
+		}
+	}
+}
+
+// TestSweepCancelStreamsPartialProgress: cancelling the sweep job mid-grid
+// stops dispatch; the footer reports cancelled with fewer cells done.
+func TestSweepCancelStreamsPartialProgress(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 8), saw: make(chan error, 8)}
+	_, ts := newTestServer(t, Options{Backend: bp, Workers: 1, Backlog: 8})
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"workload":"IOR_16M","reps":1,
+			"grid":{"osc.max_pages_per_rpc":[256,512,1024]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The header streams immediately and carries the job id to cancel.
+	var header SweepHeader
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&header); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	<-bp.started // first cell is now blocked inside the backend
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+header.Job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	var footer SweepFooter
+	sawFooter := false
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			break
+		}
+		if bytes.Contains(raw, []byte(`"cells"`)) && !bytes.Contains(raw, []byte(`"index"`)) {
+			if err := json.Unmarshal(raw, &footer); err == nil {
+				sawFooter = true
+			}
+		}
+	}
+	if !sawFooter {
+		t.Fatal("cancelled sweep never streamed its footer")
+	}
+	if !footer.Cancelled {
+		t.Fatalf("footer = %+v, want cancelled", footer)
+	}
+	if footer.Done >= header.Cells {
+		t.Fatalf("cancelled sweep completed all %d cells", footer.Done)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data := get(t, ts.URL+"/v1/jobs/"+header.Job)
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobCancelled {
+			break
+		}
+		if v.Status == JobDone || v.Status == JobFailed {
+			t.Fatalf("sweep job finished %q, want cancelled", v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep job stuck in %q", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWarmStartAcrossRestart is the persistence acceptance contract: a
+// server restarted over the same cache directory answers the identical
+// request set with zero misses and byte-identical bodies.
+func TestWarmStartAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	requests := []string{
+		`{"workload":"IOR_16M","reps":2,"seed":42}`,
+		`{"workload":"IOR_16M","reps":1,"seed":7}`,
+		`{"workload":"MDWorkbench_2K","reps":1,"seed":42}`,
+	}
+
+	run := func() ([][]byte, runcache.Stats) {
+		s := New(Options{Scale: 0.05, CacheDir: dir})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		bodies := make([][]byte, len(requests))
+		for i, body := range requests {
+			resp, data := post(t, ts.URL+"/v1/evaluate", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("request %d: HTTP %d: %s", i, resp.StatusCode, data)
+			}
+			bodies[i] = data
+		}
+		return bodies, s.Cache().Stats()
+	}
+
+	first, coldStats := run()
+	if coldStats.Misses == 0 || !coldStats.Persisted {
+		t.Fatalf("first life did not simulate: %+v", coldStats)
+	}
+
+	second, warmStats := run() // a brand-new server: the "restart"
+	if warmStats.Misses != 0 {
+		t.Fatalf("restarted server re-simulated: %d misses (%s)", warmStats.Misses, warmStats)
+	}
+	if warmStats.DiskHits != coldStats.Misses {
+		t.Fatalf("disk hits = %d, want %d (%s)", warmStats.DiskHits, coldStats.Misses, warmStats)
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("request %d body changed across restart:\n%s\nvs\n%s", i, first[i], second[i])
+		}
+	}
+}
+
+// gatedPlatform blocks Run until released (then executes the real
+// simulator) and records which workloads ever reached the backend.
+type gatedPlatform struct {
+	started chan struct{}
+	release chan struct{}
+
+	mu  sync.Mutex
+	ran map[string]int
+}
+
+func (g *gatedPlatform) Name() string { return "gated" }
+
+func (g *gatedPlatform) Run(ctx context.Context, spec platform.RunSpec) (*platform.RunResult, error) {
+	g.mu.Lock()
+	if g.ran == nil {
+		g.ran = map[string]int{}
+	}
+	g.ran[spec.Workload.Name]++
+	g.mu.Unlock()
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.release:
+		return platform.Simulator{}.Run(ctx, spec)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gatedPlatform) runsFor(name string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ran[name]
+}
+
+// TestFigureJobCancelWhileQueued: DELETE on a job that is still waiting for
+// a worker must report cancelled promptly once a worker reaches it — and
+// the job's experiment must never execute a single backend run.
+func TestFigureJobCancelWhileQueued(t *testing.T) {
+	gp := &gatedPlatform{started: make(chan struct{}, 1), release: make(chan struct{})}
+	_, ts := newTestServer(t, Options{Backend: gp, Workers: 1, Backlog: 8, Reps: 1})
+
+	// Job A (fig8, MDWorkbench_8K) occupies the only worker.
+	resp, data := post(t, ts.URL+"/v1/figures/fig8", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit A: HTTP %d: %s", resp.StatusCode, data)
+	}
+	<-gp.started // A is inside the backend
+
+	// Job B (fig9, IOR_16M) is admitted but stuck behind A: still queued.
+	resp, data = post(t, ts.URL+"/v1/figures/fig9", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit B: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var b JobView
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Status != JobQueued {
+		t.Fatalf("job B = %q, want queued", b.Status)
+	}
+
+	// Cancel B while it is still queued, then let A finish.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	close(gp.release)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, data := get(t, ts.URL+"/v1/jobs/"+b.ID)
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobCancelled {
+			// Cancelled while queued means never started: no start
+			// timestamp and no backend run of B's workload.
+			if v.Started != nil {
+				t.Fatalf("cancelled-while-queued job has a start time: %+v", v)
+			}
+			break
+		}
+		if v.Status == JobDone || v.Status == JobFailed {
+			t.Fatalf("job B finished %q, want cancelled", v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job B stuck in %q after DELETE", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := gp.runsFor("IOR_16M"); got != 0 {
+		t.Fatalf("cancelled-while-queued job still ran %d IOR_16M trials", got)
+	}
+}
+
 // TestSharedCacheAcrossServers proves Options.Cache makes the cache truly
 // process-wide: a second server over the same cache serves the first
 // server's results without re-simulating.

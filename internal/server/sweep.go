@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"stellar/internal/params"
+	"stellar/internal/runcache"
+	"stellar/internal/stats"
+	"stellar/internal/workload"
+)
+
+// SweepRequest measures a whole parameter grid in one request instead of
+// one configuration per round-trip: the server expands the cross-product of
+// Grid over Base and runs every cell through the shared run cache. Omitted
+// reps and seed fall back to the server defaults, exactly like evaluate.
+type SweepRequest struct {
+	Workload string             `json:"workload"`
+	Reps     int                `json:"reps,omitempty"`
+	Seed     int64              `json:"seed,omitempty"`
+	Base     map[string]int64   `json:"base,omitempty"`
+	Grid     map[string][]int64 `json:"grid"`
+}
+
+// SweepHeader is the first NDJSON line of a sweep response: what the server
+// expanded the request into, so clients know how many cell lines to expect.
+type SweepHeader struct {
+	Job      string  `json:"job"`
+	Workload string  `json:"workload"`
+	Cells    int     `json:"cells"`
+	Reps     int     `json:"reps"`
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale"`
+}
+
+// SweepCell is one streamed grid cell: its expanded configuration plus the
+// measurement summary, or an error. Cells stream in completion order;
+// Index identifies the cell within the deterministic expansion order.
+type SweepCell struct {
+	Index        int              `json:"index"`
+	Config       map[string]int64 `json:"config"`
+	MeanSeconds  float64          `json:"mean_s,omitempty"`
+	CI90Seconds  float64          `json:"ci90_s,omitempty"`
+	WallsSeconds []float64        `json:"walls_s,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
+// SweepFooter is the last NDJSON line: how much of the grid completed, the
+// cache activity attributed to the sweep, and whether it was cut short.
+type SweepFooter struct {
+	Done      int            `json:"done"`
+	Failed    int            `json:"failed"`
+	Cells     int            `json:"cells"`
+	Cancelled bool           `json:"cancelled"`
+	Seconds   float64        `json:"seconds"`
+	Cache     runcache.Stats `json:"cache"`
+}
+
+// expandGrid builds the cross-product of grid over base in deterministic
+// order: keys sorted, last key varying fastest (odometer order). Every cell
+// gets its own config map so cells are independently serializable.
+func expandGrid(base map[string]int64, grid map[string][]int64) []map[string]int64 {
+	keys := make([]string, 0, len(grid))
+	total := 1
+	for k := range grid {
+		keys = append(keys, k)
+		total *= len(grid[k])
+	}
+	sort.Strings(keys)
+
+	cells := make([]map[string]int64, 0, total)
+	idx := make([]int, len(keys))
+	for {
+		cell := make(map[string]int64, len(base)+len(keys))
+		for k, v := range base {
+			cell[k] = v
+		}
+		for i, k := range keys {
+			cell[k] = grid[k][idx[i]]
+		}
+		cells = append(cells, cell)
+		// Advance the odometer, last key fastest.
+		i := len(keys) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(grid[keys[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells
+		}
+	}
+}
+
+// handleSweep serves POST /v1/sweeps: expand the grid, fan the cells
+// through the job queue (each cell is one queue task sharing the
+// process-wide cache), and stream one NDJSON line per completed cell. The
+// response begins with a header line and ends with a footer line; a client
+// disconnect or DELETE /v1/jobs/{id} stops dispatching new cells, and
+// everything streamed before that is the partial progress.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload")
+		return
+	}
+	if !workload.Known(req.Workload) {
+		writeError(w, http.StatusBadRequest, "%v %q", workload.ErrUnknown, req.Workload)
+		return
+	}
+	reps := req.Reps
+	if reps == 0 {
+		reps = s.opts.Reps
+	}
+	if reps < 1 || reps > s.opts.MaxReps {
+		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	if len(req.Grid) == 0 {
+		writeError(w, http.StatusBadRequest, "missing grid")
+		return
+	}
+	// Every grid and base parameter gets the same admission checks as
+	// evaluate: unknown or read-only parameters fail the whole request
+	// before any cell runs.
+	total := 1
+	for k, vs := range req.Grid {
+		if !s.checkParam(w, k) {
+			return
+		}
+		if len(vs) == 0 {
+			writeError(w, http.StatusBadRequest, "grid axis %q is empty", k)
+			return
+		}
+		total *= len(vs)
+		if total > s.opts.MaxSweepCells {
+			writeError(w, http.StatusBadRequest, "grid expands past the %d-cell limit", s.opts.MaxSweepCells)
+			return
+		}
+	}
+	for k := range req.Base {
+		if !s.checkParam(w, k) {
+			return
+		}
+	}
+
+	cells := expandGrid(req.Base, req.Grid)
+	job := s.jobs.create("sweep", req.Workload)
+	job.setTotal(len(cells))
+	// Like evaluate, the sweep descends from the request context (client
+	// disconnect stops the grid) with its own cancel so DELETE works.
+	rctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	job.setCancel(cancel)
+	job.start()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	before := s.cache.Stats()
+	t0 := time.Now()
+	writeLine(SweepHeader{
+		Job: job.id, Workload: req.Workload, Cells: len(cells),
+		Reps: reps, Seed: seed, Scale: s.opts.Scale,
+	})
+
+	// Each cell is one DoWait queue task: the queue's worker bound is the
+	// sweep's parallelism, and a full backlog blocks dispatch (backpressure
+	// on this one request) instead of failing cells with ErrQueueFull.
+	results := make(chan SweepCell)
+	var wg sync.WaitGroup
+	for i, cfg := range cells {
+		wg.Add(1)
+		go func(i int, wire map[string]int64) {
+			defer wg.Done()
+			cell := SweepCell{Index: i, Config: wire}
+			cfg := params.Config{}
+			for k, v := range wire {
+				cfg[k] = v
+			}
+			qerr := s.queue.DoWait(rctx, func(ctx context.Context) {
+				// Cancelled while still queued: never run the measurement.
+				if ctx.Err() != nil {
+					cell.Error = ctx.Err().Error()
+					return
+				}
+				walls, sum, err := func() (walls []float64, sum stats.Summary, err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = fmt.Errorf("sweep cell panicked: %v", r)
+						}
+					}()
+					return s.eng.EvaluateSeries(ctx, req.Workload, cfg, reps, seed)
+				}()
+				if err != nil {
+					cell.Error = err.Error()
+					return
+				}
+				cell.MeanSeconds = sum.Mean
+				cell.CI90Seconds = sum.CI90
+				cell.WallsSeconds = walls
+			})
+			if qerr != nil {
+				cell.Error = qerr.Error()
+			}
+			results <- cell
+		}(i, cfg)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var done, failed int
+	for cell := range results {
+		if cell.Error != "" {
+			if isCtxErrString(cell.Error) {
+				// A cancelled cell is not progress and not a cell failure;
+				// the footer's cancelled flag reports it collectively.
+				continue
+			}
+			failed++
+		} else {
+			done++
+		}
+		job.cellDone()
+		writeLine(cell)
+	}
+
+	delta := s.cache.Stats().Delta(before)
+	footer := SweepFooter{
+		Done: done, Failed: failed, Cells: len(cells),
+		Cancelled: rctx.Err() != nil,
+		Seconds:   time.Since(t0).Seconds(),
+		Cache:     delta,
+	}
+	// One marshal serves both the stream's footer line and the retained
+	// job result (SweepFooter contains no unmarshalable types).
+	data, _ := json.Marshal(footer)
+	writeLine(json.RawMessage(data))
+	if footer.Cancelled {
+		job.fail(rctx.Err(), &delta)
+		return
+	}
+	job.finish(data, &delta)
+}
+
+// checkParam validates one configurable parameter name at admission
+// (evaluate configs, sweep grids and bases), writing a 400 and returning
+// false when it cannot be set.
+func (s *Server) checkParam(w http.ResponseWriter, name string) bool {
+	p, ok := s.eng.Registry().Get(name)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown parameter %q", name)
+		return false
+	}
+	if !p.Writable {
+		writeError(w, http.StatusBadRequest, "parameter %q is read-only", name)
+		return false
+	}
+	return true
+}
+
+// isCtxErrString matches cell errors that are context cancellations. Cell
+// errors cross a string boundary (they ride in SweepCell JSON), so the
+// check is textual rather than errors.Is.
+func isCtxErrString(msg string) bool {
+	return msg == context.Canceled.Error() || msg == context.DeadlineExceeded.Error()
+}

@@ -66,9 +66,14 @@ func (e *Engine) Now() float64 { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a model bug.
+// At schedules fn to run at absolute time t. Scheduling in the past or at a
+// non-finite instant panics: both always indicate a model bug, and a NaN
+// would otherwise slip through the past-check (every comparison against NaN
+// is false) and silently corrupt the event heap's ordering invariant.
 func (e *Engine) At(t float64, fn func()) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %g", t))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now))
 	}
@@ -76,10 +81,11 @@ func (e *Engine) At(t float64, fn func()) {
 	heap.Push(&e.events, &event{at: t, seq: e.seq, fire: fn})
 }
 
-// After schedules fn to run d seconds from now. Negative d panics.
+// After schedules fn to run d seconds from now. Negative or non-finite d
+// panics.
 func (e *Engine) After(d float64, fn func()) {
-	if d < 0 || math.IsNaN(d) {
-		panic(fmt.Sprintf("sim: negative or NaN delay %g", d))
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		panic(fmt.Sprintf("sim: negative or non-finite delay %g", d))
 	}
 	e.At(e.now+d, fn)
 }

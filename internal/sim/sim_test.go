@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -63,6 +64,46 @@ func TestEnginePastSchedulingPanics(t *testing.T) {
 		e.At(1, func() {})
 	})
 	e.Run()
+}
+
+// TestEngineNonFiniteSchedulingPanics: NaN slips through the past-check
+// (every comparison against NaN is false) and ±Inf would pin the clock at
+// infinity, so both must be rejected loudly instead of corrupting the event
+// heap's ordering invariant.
+func TestEngineNonFiniteSchedulingPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func(e *Engine)
+	}{
+		{"At NaN", func(e *Engine) { e.At(math.NaN(), func() {}) }},
+		{"At +Inf", func(e *Engine) { e.At(math.Inf(1), func() {}) }},
+		{"At -Inf", func(e *Engine) { e.At(math.Inf(-1), func() {}) }},
+		{"After NaN", func(e *Engine) { e.After(math.NaN(), func() {}) }},
+		{"After +Inf", func(e *Engine) { e.After(math.Inf(1), func() {}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.call(NewEngine())
+		})
+	}
+	// Regression shape of the original bug: a NaN event admitted before
+	// finite ones would fire in heap-corrupted order. Now admission itself
+	// panics and the finite schedule is unaffected.
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	func() {
+		defer func() { recover() }()
+		e.At(math.NaN(), func() { fired += 100 })
+	}()
+	e.At(2, func() { fired++ })
+	if end := e.Run(); end != 2 || fired != 2 {
+		t.Fatalf("finite schedule disturbed: end=%g fired=%d", end, fired)
+	}
 }
 
 func TestEngineStop(t *testing.T) {

@@ -14,34 +14,39 @@ func families() []string {
 }
 
 // FuzzWorkloadValidate is a property test over the whole workload catalog:
-// for any family, rank count, and scale in the supported 0.01–1.0 band, the
-// generated workload must pass Validate and its per-rank op streams must
-// stay barrier-balanced — every rank reaches every MPI_Barrier, since a
-// single missing barrier op deadlocks the simulated job forever.
+// for any family, rank count, and scale in the supported 0.001–1.0 band,
+// the generated workload must pass Validate and its per-rank op streams
+// must stay barrier-balanced — every rank reaches every MPI_Barrier, since
+// a single missing barrier op deadlocks the simulated job forever. The
+// band's bottom end is deliberately degenerate: at 0.001 every scaled count
+// rounds to zero before the ≥1 floor in scaleCount, which is exactly the
+// regime where generators used to emit near-empty op streams.
 func FuzzWorkloadValidate(f *testing.F) {
 	// Seed every family at the scale extremes and the default, so plain
 	// `go test` (which runs only the corpus) already sweeps the catalog.
 	for fam := range families() {
-		f.Add(uint8(fam), uint16(4), 0.01)
+		f.Add(uint8(fam), uint16(4), 0.001)
 		f.Add(uint8(fam), uint16(8), DefaultScale)
 		f.Add(uint8(fam), uint16(3), 1.0)
 	}
-	f.Add(uint8(0), uint16(1), 0.5)   // single rank
-	f.Add(uint8(4), uint16(64), 0.02) // wide job (IO500)
+	f.Add(uint8(0), uint16(1), 0.5)    // single rank
+	f.Add(uint8(4), uint16(64), 0.02)  // wide job (IO500)
+	f.Add(uint8(2), uint16(2), 0.001)  // metadata family at the degenerate floor
+	f.Add(uint8(7), uint16(1), 0.0015) // single rank, just above the floor
 
 	f.Fuzz(func(t *testing.T, fam uint8, ranks uint16, scale float64) {
 		names := families()
 		name := names[int(fam)%len(names)]
 		// Map arbitrary fuzz inputs into the supported domain: ranks in
-		// [1, 64], scale in [0.01, 1.0]. In-domain values pass through
-		// untouched so the corpus extremes (0.01, DefaultScale, 1.0) test
+		// [1, 64], scale in [0.001, 1.0]. In-domain values pass through
+		// untouched so the corpus extremes (0.001, DefaultScale, 1.0) test
 		// exactly those scales, full paper size included.
 		r := int(ranks)%64 + 1
 		if math.IsNaN(scale) || math.IsInf(scale, 0) {
 			scale = DefaultScale
 		}
-		if scale < 0.01 || scale > 1.0 {
-			scale = 0.01 + math.Abs(math.Mod(scale, 1.0))*0.99
+		if scale < 0.001 || scale > 1.0 {
+			scale = 0.001 + math.Abs(math.Mod(scale, 1.0))*0.999
 		}
 
 		w, err := Catalog(name, r, scale)

@@ -438,32 +438,38 @@ func MACSio512K(ranks int, scale float64) *Workload { return MACSio(ranks, 512<<
 // MACSio16M is the paper's MACSio configuration with 16 MiB objects.
 func MACSio16M(ranks int, scale float64) *Workload { return MACSio(ranks, 16<<20, scale) }
 
+// catalog maps every recognised workload name to its generator — the single
+// source of truth Catalog and Known both consult, so admission checks can
+// never drift from what actually runs.
+var catalog = map[string]func(ranks int, scale float64) *Workload{
+	"IOR_64K":        IOR64K,
+	"IOR_16M":        IOR16M,
+	"MDWorkbench_2K": MDWorkbench2K,
+	"MDWorkbench_8K": MDWorkbench8K,
+	"IO500":          IO500,
+	"AMReX":          AMReX,
+	"MACSio_512K":    MACSio512K,
+	"MACSio_16M":     MACSio16M,
+	"E3SM":           E3SM,
+	"H5Bench":        H5Bench,
+}
+
 // Catalog returns the named workload at the given rank count and scale.
 // Recognised names match the paper's labels.
 func Catalog(name string, ranks int, scale float64) (*Workload, error) {
-	switch name {
-	case "IOR_64K":
-		return IOR64K(ranks, scale), nil
-	case "IOR_16M":
-		return IOR16M(ranks, scale), nil
-	case "MDWorkbench_2K":
-		return MDWorkbench2K(ranks, scale), nil
-	case "MDWorkbench_8K":
-		return MDWorkbench8K(ranks, scale), nil
-	case "IO500":
-		return IO500(ranks, scale), nil
-	case "AMReX":
-		return AMReX(ranks, scale), nil
-	case "MACSio_512K":
-		return MACSio512K(ranks, scale), nil
-	case "MACSio_16M":
-		return MACSio16M(ranks, scale), nil
-	case "E3SM":
-		return E3SM(ranks, scale), nil
-	case "H5Bench":
-		return H5Bench(ranks, scale), nil
+	gen, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 	}
-	return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
+	return gen(ranks, scale), nil
+}
+
+// Known reports whether name is in the catalog without generating the
+// workload — the cheap admission check serving layers use before committing
+// a queue worker to a request.
+func Known(name string) bool {
+	_, ok := catalog[name]
+	return ok
 }
 
 // Benchmarks lists the five benchmark workloads of Figure 5/6.

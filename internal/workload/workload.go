@@ -112,6 +112,12 @@ func (w *Workload) Validate() error {
 	if len(w.Ranks) == 0 {
 		return fmt.Errorf("workload %s: no ranks", w.Name)
 	}
+	// An empty op stream set makes every measured wall time vacuous: a
+	// degenerate scale that rounded all counts to zero must surface as an
+	// error here, not as a meaningless 0-second measurement downstream.
+	if w.TotalOps() == 0 {
+		return fmt.Errorf("workload %s: empty op streams (scale %g left no operations)", w.Name, w.Scale)
+	}
 	for ri, ops := range w.Ranks {
 		for oi, op := range ops {
 			switch op.Type {
@@ -175,6 +181,10 @@ func (b *builder) phase(name string) {
 	b.w.Phases = append(b.w.Phases, Phase{Name: name, Start: start})
 }
 
+// scaleCount applies the workload scale to a repetition count with a floor
+// of one: every generator loop must execute at least once, or a tiny scale
+// (0.001 of the paper's sizes) would silently emit near-empty op streams
+// that Validate then rejects.
 func scaleCount(n int, scale float64) int {
 	v := int(float64(n) * scale)
 	if v < 1 {

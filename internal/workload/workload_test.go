@@ -24,6 +24,40 @@ func TestCatalogCoversPaperWorkloads(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsEmptyWorkloads: a workload whose op streams are all
+// empty must fail validation — a measurement over it would be vacuous.
+func TestValidateRejectsEmptyWorkloads(t *testing.T) {
+	w := &Workload{Name: "hollow", Ranks: make([][]Op, 4), Scale: 0.001}
+	if err := w.Validate(); err == nil {
+		t.Fatal("empty op streams passed Validate")
+	}
+	// The catalog never produces one, even at a degenerate scale: the ≥1
+	// floor in scaleCount keeps every generator loop alive.
+	for _, name := range append(append(Benchmarks(), RealApps()...), Extras()...) {
+		w, err := Catalog(name, 2, 0.001)
+		if err != nil {
+			t.Fatalf("%s at scale 0.001: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s at scale 0.001 invalid: %v", name, err)
+		}
+		if w.TotalOps() == 0 {
+			t.Fatalf("%s at scale 0.001 generated no ops", name)
+		}
+	}
+}
+
+func TestKnownMatchesCatalog(t *testing.T) {
+	for _, name := range append(append(Benchmarks(), RealApps()...), Extras()...) {
+		if !Known(name) {
+			t.Fatalf("Known(%q) = false for a catalog workload", name)
+		}
+	}
+	if Known("bogus") {
+		t.Fatal("Known accepted an unknown workload")
+	}
+}
+
 func TestIOR64KShape(t *testing.T) {
 	w := IOR64K(4, 1.0)
 	if w.Name != "IOR_64K" || w.Interface != "MPI-IO" {
