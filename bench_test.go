@@ -31,6 +31,7 @@ import (
 	"stellar/internal/platform"
 	"stellar/internal/rag"
 	"stellar/internal/runcache"
+	"stellar/internal/search"
 	"stellar/internal/server"
 	"stellar/internal/workload"
 )
@@ -350,4 +351,39 @@ func BenchmarkCompleteTuningRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTuneSearch runs the adaptive successive-halving search end to end
+// over the given platform stack.
+func benchTuneSearch(b *testing.B, plat platform.Platform) {
+	b.Helper()
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec: cluster.Default(), Scale: 0.1, Seed: 7, Parallel: 4, Platform: plat,
+	})
+	opts := search.Options{
+		Workload: "IOR_16M", Candidates: 8, MaxReps: 3, Seed: 7, Parallel: 4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(context.Background(), eng.EvaluateSeries, opts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuneSearchUncached pays every candidate evaluation on the live
+// simulator — including re-measuring survivors' earlier repetitions each
+// time their precision doubles.
+func BenchmarkTuneSearchUncached(b *testing.B) {
+	benchTuneSearch(b, platform.Simulator{})
+}
+
+// BenchmarkTuneSearchCached runs the same search over the run cache:
+// survivor promotions re-request runs earlier rounds already paid for, so
+// only genuinely new (config, seed) trials simulate — and after the first
+// iteration the whole search is served from memory. Compare with
+// BenchmarkTuneSearchUncached for the cache-aware early-stopping win.
+func BenchmarkTuneSearchCached(b *testing.B) {
+	benchTuneSearch(b, runcache.New(platform.Simulator{}, 0))
 }

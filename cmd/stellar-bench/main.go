@@ -21,6 +21,13 @@
 //	                               # batch sweep API: one POST /v1/sweeps with a
 //	                               # 16-cell grid, NDJSON streamed back; records
 //	                               # shard + persistence cache effectiveness
+//	stellar-bench -tune-requests 8 -cache-dir cachedir -json BENCH_tune.json
+//	                               # adaptive tuning search: one POST /v1/tune
+//	                               # over an 8-candidate pool, NDJSON rounds
+//	                               # consumed; records the winner, the budget
+//	                               # spent, and the cache delta (a second run
+//	                               # over the same -cache-dir must report zero
+//	                               # misses and the identical winner)
 //
 // The -parallel fan-out is deterministic: tables are bit-identical to a
 // serial run with the same seed — and with -cache they stay bit-identical
@@ -64,6 +71,13 @@ type benchRecord struct {
 	Cache      *runcache.Stats `json:"cache,omitempty"` // delta over this pass
 	Requests   int             `json:"requests,omitempty"`
 	RPS        float64         `json:"rps,omitempty"`
+	// Tune-pass fields: the winning configuration and the search budget
+	// actually spent, so a BENCH_tune.json trajectory shows both what the
+	// search found and what it cost.
+	Winner      map[string]int64 `json:"winner,omitempty"`
+	Rounds      int              `json:"rounds,omitempty"`
+	Evaluations int              `json:"evaluations,omitempty"`
+	Speedup     float64          `json:"speedup,omitempty"`
 }
 
 // records accumulates the per-pass measurements; jsonPath is the -json
@@ -85,6 +99,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write per-pass wall-clock and cache stats to this file as JSON")
 		serveN   = flag.Int("serve-requests", 0, "also measure stellar-serve throughput: fire this many identical HTTP evaluate requests at an in-process server and record the pass (0 = skip)")
 		sweepN   = flag.Int("sweep-requests", 0, "also measure the batch sweep API: POST one parameter grid with this many cells to an in-process server, stream the NDJSON results, and record the pass with shard/persistence cache stats (0 = skip)")
+		tuneN    = flag.Int("tune-requests", 0, "also measure the adaptive tuning search: POST /v1/tune with this many candidates to an in-process server, stream the NDJSON rounds, and record the winner, budget, and cache delta (0 = skip)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -134,7 +149,7 @@ func main() {
 	ids := []string{}
 	if *fig != "" {
 		ids = append(ids, *fig)
-	} else if *serveN == 0 && *sweepN == 0 {
+	} else if *serveN == 0 && *sweepN == 0 && *tuneN == 0 {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
@@ -161,6 +176,16 @@ func main() {
 		records = append(records, rec)
 		fmt.Printf("(sweep: %d cells in %.3fs, %.1f cells/s, cache: %s)\n",
 			rec.Requests, rec.Seconds, rec.RPS, rec.Cache)
+	}
+
+	if *tuneN > 0 {
+		rec, err := tunePass(ctx, plat, cache, cfg, *tuneN)
+		if err != nil {
+			fatal(fmt.Errorf("tune: %w", err))
+		}
+		records = append(records, rec)
+		fmt.Printf("(tune: %d candidates, %d evaluations over %d rounds in %.3fs, winner %.2fx, cache: %s)\n",
+			rec.Requests, rec.Evaluations, rec.Rounds, rec.Seconds, rec.Speedup, rec.Cache)
 	}
 
 	if cache != nil && *pf.CacheStats {
@@ -295,6 +320,73 @@ func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 		Experiment: "sweep", Pass: 1, Seconds: elapsed,
 		Platform: srv.Platform().Name(), Cache: &delta,
 		Requests: n, RPS: float64(n) / elapsed,
+	}, nil
+}
+
+// tunePass measures the adaptive tuning-search API: an in-process
+// stellar-serve instance, one POST /v1/tune over an n-candidate pool, the
+// NDJSON round stream consumed to completion. The recorded pass carries the
+// winning configuration and the search budget, so two passes over the same
+// -cache-dir demonstrate the determinism contract: the second reports zero
+// misses and the byte-identical winner.
+func tunePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
+	cfg = cfg.Defaults()
+	srv := server.New(server.Options{
+		Backend: plat, Cache: cache,
+		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
+		Workers: cfg.Parallel, Parallel: 1, Backlog: n, MaxTuneCandidates: n,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRecord{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	body := fmt.Sprintf(`{"workload":"IOR_16M","candidates":%d,"max_reps":%d,"seed":%d}`,
+		n, cfg.Reps, cfg.Seed)
+	before := srv.Cache().Stats()
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+ln.Addr().String()+"/v1/tune", strings.NewReader(body))
+	if err != nil {
+		return benchRecord{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return benchRecord{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var footer server.TuneFooter
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last []byte
+	for sc.Scan() {
+		last = append(last[:0], sc.Bytes()...)
+	}
+	if err := sc.Err(); err != nil {
+		return benchRecord{}, err
+	}
+	if err := json.Unmarshal(last, &footer); err != nil {
+		return benchRecord{}, fmt.Errorf("parsing tune footer: %w", err)
+	}
+	if footer.Cancelled || footer.Error != "" {
+		return benchRecord{}, fmt.Errorf("search did not complete: cancelled=%v error=%q", footer.Cancelled, footer.Error)
+	}
+	elapsed := time.Since(t0).Seconds()
+	delta := srv.Cache().Stats().Delta(before)
+	return benchRecord{
+		Experiment: "tune", Pass: 1, Seconds: elapsed,
+		Platform: srv.Platform().Name(), Cache: &delta,
+		Requests: n, RPS: float64(footer.Evaluations) / elapsed,
+		Winner: footer.Winner.Config, Rounds: footer.Rounds,
+		Evaluations: footer.Evaluations, Speedup: footer.Speedup,
 	}, nil
 }
 

@@ -9,6 +9,10 @@
 //	stellar -workload IOR_16M -cache -cache-stats      # memoize identical trials
 //	stellar -workload IOR_16M -platform record         # serialize every run to -record-dir
 //	stellar -workload IOR_16M -platform replay         # regenerate from recorded runs, no simulation
+//	stellar -workload IOR_16M -tune -tune-candidates 16 -cache
+//	                                                   # adaptive successive-halving search
+//	                                                   # instead of the agentic tuning loop
+//	stellar -workload IOR_16M -tune -objective composite   # scalarize mean+tail+CI
 //
 // SIGINT/SIGTERM cancel the run's context: in-flight model calls unwind, and
 // the discrete-event simulation itself aborts within a bounded number of
@@ -28,6 +32,8 @@ import (
 	"stellar/internal/cluster"
 	"stellar/internal/core"
 	"stellar/internal/llm/simllm"
+	"stellar/internal/params"
+	"stellar/internal/search"
 	"stellar/internal/workload"
 )
 
@@ -40,6 +46,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 1, "worker pool size for evaluation repetitions (1 = serial)")
 		verbose  = flag.Bool("v", false, "print the I/O report, rationale details, and clamp warnings")
+
+		tune      = flag.Bool("tune", false, "run the adaptive successive-halving search over random candidate configs instead of the agentic tuning loop")
+		tuneCands = flag.Int("tune-candidates", 16, "candidate pool size for -tune")
+		tuneReps  = flag.Int("tune-reps", 8, "repetitions the -tune winner is measured at (rounds start at 1 and grow geometrically)")
+		objective = flag.String("objective", "mean", "-tune objective: mean (mean wall), tail (worst rep), composite (mean + 0.5*tail + 0.5*ci90)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -63,6 +74,14 @@ func main() {
 		Parallel:      *parallel,
 		Platform:      plat,
 	})
+
+	if *tune {
+		runSearch(ctx, eng, *name, *tuneCands, *tuneReps, *seed, *parallel, *objective)
+		if cache != nil && *pf.CacheStats {
+			fmt.Printf("run cache [%s]: %s\n", eng.Platform().Name(), cache.Stats())
+		}
+		return
+	}
 
 	rep, err := eng.Offline(ctx)
 	if err != nil {
@@ -103,6 +122,53 @@ func main() {
 	if cache != nil && *pf.CacheStats {
 		fmt.Printf("run cache [%s]: %s\n", eng.Platform().Name(), cache.Stats())
 	}
+}
+
+// runSearch drives the adaptive tuning search (internal/search) over the
+// engine's evaluator: every trial flows through the configured platform
+// stack, so -cache makes survivor promotions free and -platform replay
+// reruns a recorded search without simulating.
+func runSearch(ctx context.Context, eng *core.Engine, name string, candidates, reps int, seed int64, parallel int, objective string) {
+	spec := cluster.Default()
+	objSpec := search.ObjectiveSpec{Kind: objective}
+	if objective == "composite" {
+		objSpec.MeanWeight, objSpec.TailWeight, objSpec.CIWeight = 1, 0.5, 0.5
+	}
+	obj, err := objSpec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	opts := search.Options{
+		Workload:   name,
+		Candidates: candidates,
+		MaxReps:    reps,
+		Seed:       seed,
+		Parallel:   parallel,
+		Objective:  obj,
+		Registry:   eng.Registry(),
+		Env:        params.SystemEnv(int64(spec.MemoryMBPerNode), int64(spec.OSTCount), nil),
+	}
+	fmt.Printf("adaptive search on %s: %d candidates, objective %s, winner at %d reps\n",
+		name, candidates, obj.Name(), reps)
+	res, err := search.Run(ctx, eng.EvaluateSeries, opts, func(rd search.Round) {
+		fmt.Printf("  round %d: %2d candidates at %d reps -> keep %d, best score %8.3f (candidate %d)\n",
+			rd.Round, rd.Evaluated, rd.Reps, len(rd.Survivors), rd.Best.Score, rd.Best.Index)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwinner: candidate %d (score %.3f, mean %.3f s over %d reps), %.2fx over defaults\n",
+		res.Winner.Index, res.Winner.Score, res.Winner.MeanSeconds, res.Winner.Reps, res.Speedup())
+	fmt.Println("winning configuration:")
+	cfg := params.Config{}
+	for k, v := range res.Winner.Config {
+		cfg[k] = v
+	}
+	for _, k := range cfg.Names() {
+		fmt.Printf("  %-36s = %d\n", k, cfg[k])
+	}
+	fmt.Printf("budget: %d evaluations, %d rep-runs requested (exhaustive pool at full precision: %d)\n",
+		res.Evaluations, res.RepRuns, res.Candidates*opts.MaxReps)
 }
 
 func fatal(err error) {

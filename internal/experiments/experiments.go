@@ -178,6 +178,7 @@ func All() []Experiment {
 		{"cost", "Token usage and prompt-cache statistics (§5.7)", CostTable},
 		{"iters", "Iteration cost vs traditional autotuners", IterationCost},
 		{"sweep", "RAG retrieval-depth and chunk-size sweep (extension)", RetrievalSweep},
+		{"search", "Adaptive tuning search via successive halving (extension)", TuningSearch},
 	}
 }
 

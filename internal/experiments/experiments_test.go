@@ -25,7 +25,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestAllAndLookup(t *testing.T) {
-	if len(All()) != 9 {
+	if len(All()) != 10 {
 		t.Fatalf("experiments = %d", len(All()))
 	}
 	if _, ok := Lookup("fig5"); !ok {
@@ -97,5 +97,31 @@ func TestFig8Shape(t *testing.T) {
 	if full <= noDesc || full <= noAnaly {
 		t.Fatalf("ablations not degraded: full %.2f, noDesc %.2f, noAnalysis %.2f",
 			full, noDesc, noAnaly)
+	}
+}
+
+func TestSearchShape(t *testing.T) {
+	tbl, err := TuningSearch(context.Background(), unitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("search logged %d rounds, want >= 2", len(tbl.Rows))
+	}
+	// Final round: a single survivor measured at the full repetition count.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[3] != "1" {
+		t.Fatalf("final round keeps %s survivors, want 1: %v", last[3], last)
+	}
+	if last[1] != strconv.Itoa(unitCfg().Reps) {
+		t.Fatalf("final round at %s reps, want %d: %v", last[1], unitCfg().Reps, last)
+	}
+	// The identical config reproduces the identical table (determinism).
+	tbl2, err := TuningSearch(context.Background(), unitCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Render() != tbl2.Render() {
+		t.Fatalf("search not deterministic:\n%s\n%s", tbl.Render(), tbl2.Render())
 	}
 }

@@ -12,7 +12,13 @@ import (
 // (HTTP 429) rather than blocking request handlers on a saturated queue.
 var ErrQueueFull = errors.New("pool: queue backlog full")
 
-// ErrQueueClosed is returned by Submit and Do after Close.
+// ErrQueueClosed is returned by Submit, Do, and DoWait after Close. It is
+// deliberately distinct from both ErrQueueFull and context cancellation:
+// a closed queue means the service is shutting down (HTTP 503), a full one
+// means transient saturation (HTTP 429), and a dead context means this one
+// caller gave up. Callers must not collapse the three — retrying a closed
+// queue is futile, and reporting a shutdown as the caller's own
+// cancellation hides the outage.
 var ErrQueueClosed = errors.New("pool: queue closed")
 
 // queueTask pairs a job with the context it runs under and a completion
@@ -136,6 +142,12 @@ func (q *Queue) Do(ctx context.Context, fn func(context.Context)) error {
 // control becomes backpressure on the one batch request rather than
 // hundreds of individual ErrQueueFull rejections — single-shot request
 // handlers should keep using Do so saturation surfaces as 429.
+//
+// The two failure modes stay distinguishable: a queue already closed
+// returns ErrQueueClosed, a context that dies while waiting returns
+// ctx.Err() (errors.Is context.Canceled / DeadlineExceeded) — callers map
+// the former to service-unavailable and treat the latter as their own
+// cancellation.
 func (q *Queue) DoWait(ctx context.Context, fn func(context.Context)) error {
 	done, err := q.submitWait(ctx, fn)
 	if err != nil {
@@ -143,6 +155,17 @@ func (q *Queue) DoWait(ctx context.Context, fn func(context.Context)) error {
 	}
 	<-done
 	return nil
+}
+
+// Closed reports whether Close has begun: admission is permanently over
+// and every entry point returns ErrQueueClosed. Streaming handlers check
+// it up front so shutdown surfaces as an HTTP 503 instead of a half-sent
+// body (once the response header is out, an in-stream shutdown can only be
+// reported in-band).
+func (q *Queue) Closed() bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.closed
 }
 
 // Depth returns the number of jobs waiting for a worker.

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -216,4 +217,60 @@ func TestQueueCloseDrainsAndRejects(t *testing.T) {
 		t.Fatalf("got %v, want ErrQueueClosed", err)
 	}
 	q.Close() // idempotent
+}
+
+// TestDoWaitDistinguishesShutdownFromCancel pins the error contract serving
+// layers rely on: queue shutdown surfaces as ErrQueueClosed (503), a
+// caller's own dead context as context.Canceled, and a saturated backlog as
+// ErrQueueFull (429) — never conflated.
+func TestDoWaitDistinguishesShutdownFromCancel(t *testing.T) {
+	q := NewQueue(1, 0)
+	q.Close()
+	err := q.DoWait(context.Background(), func(context.Context) {})
+	if !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("DoWait on closed queue = %v, want ErrQueueClosed", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("shutdown error reads as caller cancellation")
+	}
+	if err := q.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("Do on closed queue = %v, want ErrQueueClosed", err)
+	}
+	if err := q.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("Submit on closed queue = %v, want ErrQueueClosed", err)
+	}
+
+	// A live queue whose one worker is pinned and whose backlog is full:
+	// DoWait blocks, and cancelling the waiting caller's context must
+	// surface as that context's error, not as a queue condition.
+	q2 := NewQueue(1, 0)
+	defer q2.Close()
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Blocking entry point: the send is guaranteed to reach the worker
+		// even with a zero backlog (Do's fail-fast could lose the race
+		// against the worker parking at the channel).
+		q2.DoWait(context.Background(), func(context.Context) { <-release })
+	}()
+	// Wait for the worker to be pinned so the next DoWait genuinely blocks.
+	for q2.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err = q2.DoWait(ctx, func(context.Context) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("DoWait with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrQueueClosed) || errors.Is(err, ErrQueueFull) {
+		t.Error("caller cancellation reads as a queue condition")
+	}
+	close(release)
+	wg.Wait()
 }

@@ -1,0 +1,235 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/core"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/params"
+	"stellar/internal/platform"
+	"stellar/internal/runcache"
+	"stellar/internal/stats"
+)
+
+// fakeEval is a deterministic synthetic evaluator: the wall time is a pure
+// function of the configuration and the rep seed, so search behaviour can
+// be pinned down without the simulator.
+func fakeEval(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+	walls := make([]float64, reps)
+	for i := range walls {
+		w := 100.0
+		for _, k := range cfg.Names() {
+			w += float64(cfg[k]%97) * 0.01
+		}
+		walls[i] = w + float64((seedBase+int64(i)*101)%7)*0.001
+	}
+	return walls, stats.Summarize(walls), nil
+}
+
+func TestRunDeterministic(t *testing.T) {
+	opts := Options{Workload: "IOR_16M", Candidates: 8, MinReps: 1, MaxReps: 4, Seed: 42}
+	var logs [2]string
+	var winners [2]string
+	for i := 0; i < 2; i++ {
+		var rounds []Round
+		res, err := Run(context.Background(), fakeEval, opts, func(r Round) { rounds = append(rounds, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		rj, _ := json.Marshal(rounds)
+		wj, _ := json.Marshal(res.Winner)
+		logs[i], winners[i] = string(rj), string(wj)
+		if len(res.Rounds) != len(rounds) {
+			t.Fatalf("onRound saw %d rounds, result has %d", len(rounds), len(res.Rounds))
+		}
+	}
+	if logs[0] != logs[1] {
+		t.Errorf("round logs differ:\n%s\n%s", logs[0], logs[1])
+	}
+	if winners[0] != winners[1] {
+		t.Errorf("winners differ:\n%s\n%s", winners[0], winners[1])
+	}
+}
+
+func TestRunHalvesBudget(t *testing.T) {
+	opts := Options{Workload: "IOR_16M", Candidates: 8, Eta: 2, MinReps: 1, MaxReps: 8, Seed: 1}
+	res, err := Run(context.Background(), fakeEval, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive := opts.Candidates * opts.MaxReps
+	if res.RepRuns >= exhaustive {
+		t.Errorf("rep runs %d not below exhaustive %d", res.RepRuns, exhaustive)
+	}
+	if res.Winner.Reps != opts.MaxReps {
+		t.Errorf("winner measured at %d reps, want %d", res.Winner.Reps, opts.MaxReps)
+	}
+	// Rounds shrink and precision grows monotonically.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Evaluated > res.Rounds[i-1].Evaluated {
+			t.Errorf("round %d grew: %d -> %d candidates", i+1, res.Rounds[i-1].Evaluated, res.Rounds[i].Evaluated)
+		}
+		if res.Rounds[i].Reps < res.Rounds[i-1].Reps {
+			t.Errorf("round %d reduced precision: %d -> %d reps", i+1, res.Rounds[i-1].Reps, res.Rounds[i].Reps)
+		}
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if len(last.Survivors) != 1 || last.Survivors[0] != res.Winner.Index {
+		t.Errorf("final survivors %v do not match winner %d", last.Survivors, res.Winner.Index)
+	}
+}
+
+func TestSampledCandidatesAreValid(t *testing.T) {
+	opts := Options{Workload: "IOR_16M", Candidates: 32, Seed: 3}.WithDefaults()
+	cands, err := samplePool(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 32 {
+		t.Fatalf("pool size %d, want 32", len(cands))
+	}
+	defaults := params.DefaultConfig(opts.Registry)
+	for _, n := range opts.Space {
+		if cands[0][n] != defaults[n] {
+			t.Errorf("candidate 0 %s = %d, want default %d", n, cands[0][n], defaults[n])
+		}
+	}
+	for i, c := range cands {
+		if len(c) != len(opts.Space) {
+			t.Errorf("candidate %d covers %d params, want %d", i, len(c), len(opts.Space))
+		}
+		if err := params.Validate(c, opts.Registry, opts.Env); err != nil {
+			t.Errorf("candidate %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	walls := []float64{1, 2, 9}
+	sum := stats.Summarize(walls)
+	mean, _ := ObjectiveSpec{}.Build()
+	if got := mean.Score(walls, sum); got != sum.Mean {
+		t.Errorf("mean objective = %g, want %g", got, sum.Mean)
+	}
+	tail, _ := ObjectiveSpec{Kind: "tail"}.Build()
+	if got := tail.Score(walls, sum); got != 9 {
+		t.Errorf("tail objective = %g, want 9", got)
+	}
+	comp, err := ObjectiveSpec{Kind: "composite", MeanWeight: 1, TailWeight: 0.5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sum.Mean + 0.5*9
+	if got := comp.Score(walls, sum); got != want {
+		t.Errorf("composite objective = %g, want %g", got, want)
+	}
+	if !strings.Contains(comp.Name(), "composite") {
+		t.Errorf("composite name = %q", comp.Name())
+	}
+	if _, err := (ObjectiveSpec{Kind: "bogus"}).Build(); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := (ObjectiveSpec{Kind: "composite"}).Build(); err == nil {
+		t.Error("all-zero composite weights accepted")
+	}
+	if _, err := (ObjectiveSpec{Kind: "composite", MeanWeight: -1}).Build(); err == nil {
+		t.Error("negative composite weight accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), fakeEval, Options{}, nil); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if _, err := Run(context.Background(), fakeEval, Options{Workload: "IOR_16M", Candidates: 1}, nil); err == nil {
+		t.Error("single-candidate search accepted")
+	}
+	if _, err := Run(context.Background(), fakeEval, Options{Workload: "IOR_16M", Space: []string{"nope"}}, nil); err == nil {
+		t.Error("unknown space parameter accepted")
+	}
+	if _, err := Run(context.Background(), fakeEval, Options{Workload: "IOR_16M", Space: []string{"llite.kbytestotal"}}, nil); err == nil {
+		t.Error("read-only space parameter accepted")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	eval := func(ctx context.Context, wl string, cfg params.Config, reps int, seed int64) ([]float64, stats.Summary, error) {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, stats.Summary{}, err
+		}
+		return fakeEval(ctx, wl, cfg, reps, seed)
+	}
+	if _, err := Run(ctx, eval, Options{Workload: "IOR_16M", Candidates: 8, Seed: 1}, nil); err == nil {
+		t.Fatal("cancelled search returned no error")
+	}
+}
+
+// TestSearchThroughSharedCache is the tentpole integration contract: a
+// search over the real engine + run cache issues strictly fewer simulator
+// runs than exhaustively evaluating its candidate pool at full precision,
+// and a repeat of the identical search over the same cache is entirely
+// free (zero new misses) with the identical winner and round log.
+func TestSearchThroughSharedCache(t *testing.T) {
+	cache := runcache.New(platform.Simulator{}, 0)
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec:     cluster.Default(),
+		Scale:    0.05,
+		Seed:     7,
+		Platform: cache,
+	})
+	opts := Options{
+		Workload: "IOR_16M", Candidates: 6, Eta: 2,
+		MinReps: 1, MaxReps: 4, Seed: 19, Parallel: 4,
+	}
+
+	run := func() (*Result, string) {
+		res, err := Run(context.Background(), eng.EvaluateSeries, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := json.Marshal(res)
+		return res, string(j)
+	}
+
+	res1, log1 := run()
+	after1 := cache.Stats()
+	exhaustive := uint64(opts.Candidates * opts.MaxReps)
+	if after1.Misses >= exhaustive {
+		t.Errorf("search cost %d simulator runs, exhaustive pool evaluation costs %d — halving saved nothing",
+			after1.Misses, exhaustive)
+	}
+	if after1.Misses == 0 {
+		t.Error("search issued no simulator runs at all")
+	}
+
+	res2, log2 := run()
+	delta := cache.Stats().Delta(after1)
+	if delta.Misses != 0 {
+		t.Errorf("repeated identical search missed the cache %d times, want 0", delta.Misses)
+	}
+	if log1 != log2 {
+		t.Errorf("repeated search diverged:\n%s\n%s", log1, log2)
+	}
+	w1, _ := json.Marshal(res1.Winner.Config)
+	w2, _ := json.Marshal(res2.Winner.Config)
+	if string(w1) != string(w2) {
+		t.Errorf("winners differ: %s vs %s", w1, w2)
+	}
+	if res1.Speedup() <= 0 {
+		t.Errorf("speedup = %g, want > 0", res1.Speedup())
+	}
+	if fmt.Sprint(res1.Winner.Config) == "" {
+		t.Error("empty winner config")
+	}
+}

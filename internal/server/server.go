@@ -20,6 +20,7 @@
 //
 //	POST   /v1/evaluate     measure a configuration (synchronous)
 //	POST   /v1/sweeps       measure a parameter grid (streamed NDJSON)
+//	POST   /v1/tune         adaptive tuning search (streamed NDJSON rounds)
 //	POST   /v1/figures/{id} submit a figure/sweep regeneration job (202)
 //	GET    /v1/jobs         list retained jobs
 //	GET    /v1/jobs/{id}    poll one job's status and result
@@ -96,6 +97,11 @@ type Options struct {
 	// may expand to (0 = 1024); beyond it the request is rejected with 400
 	// before any cell runs.
 	MaxSweepCells int
+
+	// MaxTuneCandidates bounds the candidate pool one POST /v1/tune search
+	// may sample (0 = 64); beyond it the request is rejected with 400
+	// before any evaluation runs.
+	MaxTuneCandidates int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +131,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSweepCells == 0 {
 		o.MaxSweepCells = 1024
+	}
+	if o.MaxTuneCandidates == 0 {
+		o.MaxTuneCandidates = 64
 	}
 	return o
 }
@@ -202,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("POST /v1/figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -317,11 +327,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	})
 	if qerr != nil {
 		job.fail(qerr, nil)
-		status := http.StatusServiceUnavailable
-		if errors.Is(qerr, pool.ErrQueueFull) {
-			status = http.StatusTooManyRequests
-		}
-		writeError(w, status, "%v", qerr)
+		writeError(w, queueErrStatus(qerr), "%v", qerr)
 		return
 	}
 	if runErr != nil {
@@ -439,11 +445,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		cancel()
 		job.fail(err, nil)
-		status := http.StatusServiceUnavailable
-		if errors.Is(err, pool.ErrQueueFull) {
-			status = http.StatusTooManyRequests
-		}
-		writeError(w, status, "%v", err)
+		writeError(w, queueErrStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.view())
@@ -519,6 +521,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// queueErrStatus maps a queue admission error onto its HTTP status. The
+// three failure modes must not be conflated (see pool.ErrQueueClosed): a
+// full backlog is transient saturation the client should back off from
+// (429), a closed queue means the service is shutting down and a retry
+// against this process is futile (503), and anything else — including the
+// caller's own cancellation racing admission — is reported as 503 rather
+// than blamed on load.
+func queueErrStatus(err error) int {
+	if errors.Is(err, pool.ErrQueueFull) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
 }
 
 // decodeBody parses a JSON request body (1 MiB bound, unknown fields

@@ -839,3 +839,230 @@ func TestSharedCacheAcrossServers(t *testing.T) {
 		t.Fatalf("stats = %s, want 1 miss + 1 hit", st)
 	}
 }
+
+// tuneLines posts a tune request and splits the NDJSON response into its
+// header, round lines, and footer.
+func tuneLines(t *testing.T, url, body string) (TuneHeader, []TuneRound, TuneFooter) {
+	t.Helper()
+	resp, data := post(t, url+"/v1/tune", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tune: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("tune response has %d lines: %s", len(lines), data)
+	}
+	var header TuneHeader
+	if err := json.Unmarshal(lines[0], &header); err != nil {
+		t.Fatalf("header line: %v: %s", err, lines[0])
+	}
+	var footer TuneFooter
+	if err := json.Unmarshal(lines[len(lines)-1], &footer); err != nil {
+		t.Fatalf("footer line: %v: %s", err, lines[len(lines)-1])
+	}
+	rounds := make([]TuneRound, 0, len(lines)-2)
+	for _, line := range lines[1 : len(lines)-1] {
+		var r TuneRound
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("round line: %v: %s", err, line)
+		}
+		rounds = append(rounds, r)
+	}
+	return header, rounds, footer
+}
+
+// TestTuneSearchEndToEnd is the tuning-search acceptance contract: a seeded
+// search is reproducible across two runs (identical winner, identical round
+// log), costs strictly fewer simulator runs than exhaustively evaluating
+// its candidate pool at full precision, and a repeat over the same shared
+// cache issues zero new simulations.
+func TestTuneSearchEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 4, Backlog: 32})
+	body := `{"workload":"IOR_16M","candidates":4,"min_reps":1,"max_reps":2,"seed":5}`
+
+	header, rounds, footer := tuneLines(t, ts.URL, body)
+	if header.Workload != "IOR_16M" || header.Candidates != 4 || header.Objective != "mean" ||
+		header.Eta != 2 || header.MinReps != 1 || header.MaxReps != 2 || header.Seed != 5 {
+		t.Fatalf("header not resolved: %+v", header)
+	}
+	if footer.Error != "" || footer.Cancelled {
+		t.Fatalf("footer = %+v", footer)
+	}
+	if len(rounds) != footer.Rounds {
+		t.Fatalf("streamed %d rounds, footer says %d", len(rounds), footer.Rounds)
+	}
+	if len(footer.Winner.Config) == 0 || footer.Winner.Reps != 2 {
+		t.Fatalf("winner = %+v", footer.Winner)
+	}
+	if len(header.Space) == 0 {
+		t.Fatalf("header does not resolve the search space: %+v", header)
+	}
+	if footer.Speedup <= 0 {
+		t.Fatalf("speedup = %g, want > 0 (baseline measured at winner precision)", footer.Speedup)
+	}
+	// Strictly fewer simulator runs than evaluating all 4 candidates at
+	// max_reps (4*2 = 8) exhaustively — the halving + cache contract.
+	exhaustive := uint64(4 * 2)
+	if footer.Cache.Misses == 0 || footer.Cache.Misses >= exhaustive {
+		t.Fatalf("search cost %d simulator runs, exhaustive costs %d", footer.Cache.Misses, exhaustive)
+	}
+	// Survivor promotion re-requests runs earlier rounds already paid for.
+	if footer.Cache.Hits == 0 {
+		t.Fatalf("search never hit the cache: %+v", footer.Cache)
+	}
+
+	// The identical search again: same winner, same round log, zero new
+	// simulations (every evaluation is already cached).
+	header2, rounds2, footer2 := tuneLines(t, ts.URL, body)
+	if header2.Candidates != header.Candidates || header2.Seed != header.Seed {
+		t.Fatalf("second header diverged: %+v vs %+v", header, header2)
+	}
+	if footer2.Cache.Misses != 0 {
+		t.Fatalf("repeated search missed the cache %d times, want 0", footer2.Cache.Misses)
+	}
+	w1, _ := json.Marshal(footer.Winner)
+	w2, _ := json.Marshal(footer2.Winner)
+	if !bytes.Equal(w1, w2) {
+		t.Fatalf("winners differ:\n%s\n%s", w1, w2)
+	}
+	r1, _ := json.Marshal(rounds)
+	r2, _ := json.Marshal(rounds2)
+	// Round lines embed per-round cache deltas, which legitimately differ
+	// between a cold and a warm search; compare the search content only.
+	var c1, c2 []map[string]json.RawMessage
+	json.Unmarshal(r1, &c1)
+	json.Unmarshal(r2, &c2)
+	for i := range c1 {
+		delete(c1[i], "cache")
+		delete(c2[i], "cache")
+	}
+	s1, _ := json.Marshal(c1)
+	s2, _ := json.Marshal(c2)
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("round logs differ:\n%s\n%s", s1, s2)
+	}
+
+	// Both searches are retained jobs with round-level progress.
+	_, data := get(t, ts.URL+"/v1/jobs")
+	var jobs []JobView
+	if err := json.Unmarshal(data, &jobs); err != nil || len(jobs) != 2 {
+		t.Fatalf("jobs = %s (err %v)", data, err)
+	}
+	for _, j := range jobs {
+		if j.Kind != "tune" || j.Status != JobDone || j.Done != footer.Rounds || j.Total != footer.Rounds {
+			t.Fatalf("tune job view = %+v", j)
+		}
+	}
+	if st := s.Cache().Stats(); st.Misses != footer.Cache.Misses {
+		t.Fatalf("process-wide misses %d != first-search misses %d", st.Misses, footer.Cache.Misses)
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxReps: 8, MaxTuneCandidates: 16})
+	for name, body := range map[string]string{
+		"missing workload":      `{}`,
+		"unknown workload":      `{"workload":"nope"}`,
+		"one candidate":         `{"workload":"IOR_16M","candidates":1}`,
+		"too many candidates":   `{"workload":"IOR_16M","candidates":17}`,
+		"eta one":               `{"workload":"IOR_16M","eta":1}`,
+		"excessive max_reps":    `{"workload":"IOR_16M","max_reps":9}`,
+		"min above max":         `{"workload":"IOR_16M","min_reps":3,"max_reps":2}`,
+		"unknown space param":   `{"workload":"IOR_16M","space":["bogus.param"]}`,
+		"read-only space":       `{"workload":"IOR_16M","space":["llite.kbytestotal"]}`,
+		"unknown objective":     `{"workload":"IOR_16M","objective":{"kind":"bogus"}}`,
+		"zero-weight composite": `{"workload":"IOR_16M","objective":{"kind":"composite"}}`,
+	} {
+		resp, data := post(t, ts.URL+"/v1/tune", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d (%s), want 400", name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestTuneCancelMidSearch: cancelling the tune job mid-round stops the
+// search and the retained job reports cancelled.
+func TestTuneCancelMidSearch(t *testing.T) {
+	bp := &blockingPlatform{started: make(chan struct{}, 8), saw: make(chan error, 8)}
+	_, ts := newTestServer(t, Options{Backend: bp, Workers: 1, Backlog: 8})
+
+	resp, err := http.Post(ts.URL+"/v1/tune", "application/json",
+		strings.NewReader(`{"workload":"IOR_16M","candidates":4,"max_reps":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var header TuneHeader
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&header); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	<-bp.started // first evaluation is now blocked inside the backend
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+header.Job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	sawCancelledFooter := false
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			break
+		}
+		if bytes.Contains(raw, []byte(`"cancelled":true`)) {
+			sawCancelledFooter = true
+		}
+	}
+	if !sawCancelledFooter {
+		t.Fatal("cancelled tune never streamed a cancelled footer")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data := get(t, ts.URL+"/v1/jobs/"+header.Job)
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobCancelled {
+			break
+		}
+		if v.Status == JobDone {
+			t.Fatalf("tune job finished %q, want cancelled", v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tune job stuck in %q", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownMapsTo503 pins the queue error contract at the HTTP boundary:
+// a server whose queue has shut down answers 503 (service unavailable),
+// never 429 (back off and retry), on every admission path.
+func TestShutdownMapsTo503(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.queue.Close()
+
+	resp, data := post(t, ts.URL+"/v1/evaluate", `{"workload":"IOR_16M","reps":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("evaluate after shutdown: HTTP %d (%s), want 503", resp.StatusCode, data)
+	}
+	resp, data = post(t, ts.URL+"/v1/figures/fig2", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("figure after shutdown: HTTP %d (%s), want 503", resp.StatusCode, data)
+	}
+	resp, data = post(t, ts.URL+"/v1/tune", `{"workload":"IOR_16M"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("tune after shutdown: HTTP %d (%s), want 503", resp.StatusCode, data)
+	}
+}

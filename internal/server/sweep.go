@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"stellar/internal/params"
+	"stellar/internal/pool"
 	"stellar/internal/runcache"
 	"stellar/internal/stats"
 	"stellar/internal/workload"
@@ -222,7 +224,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				cell.WallsSeconds = walls
 			})
 			if qerr != nil {
-				cell.Error = qerr.Error()
+				// Shutdown and caller-cancel are distinct conditions (see
+				// pool.ErrQueueClosed): a closed queue marks the cell failed
+				// with an explicit shutdown message, while the sweep's own
+				// cancellation is filtered out by the collector below.
+				if errors.Is(qerr, pool.ErrQueueClosed) {
+					cell.Error = "service shutting down: " + qerr.Error()
+				} else {
+					cell.Error = qerr.Error()
+				}
 			}
 			results <- cell
 		}(i, cfg)

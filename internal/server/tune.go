@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stellar/internal/params"
+	"stellar/internal/pool"
+	"stellar/internal/runcache"
+	"stellar/internal/search"
+	"stellar/internal/stats"
+	"stellar/internal/workload"
+)
+
+// TuneRequest starts an adaptive tuning search: the server samples a pool
+// of candidate configurations and runs successive halving over them,
+// driving every measurement through the shared run cache. Omitted knobs
+// fall back to sensible defaults; max_reps defaults to the server's
+// per-request repetition default and is bounded by MaxReps like evaluate.
+type TuneRequest struct {
+	Workload   string                `json:"workload"`
+	Space      []string              `json:"space,omitempty"`
+	Candidates int                   `json:"candidates,omitempty"`
+	Eta        int                   `json:"eta,omitempty"`
+	MinReps    int                   `json:"min_reps,omitempty"`
+	MaxReps    int                   `json:"max_reps,omitempty"`
+	Seed       int64                 `json:"seed,omitempty"`
+	Objective  *search.ObjectiveSpec `json:"objective,omitempty"`
+}
+
+// TuneHeader is the first NDJSON line of a tune response: the fully
+// resolved search the server is about to run, so a client can reproduce it
+// exactly (the whole search is deterministic given these fields).
+type TuneHeader struct {
+	Job        string   `json:"job"`
+	Workload   string   `json:"workload"`
+	Objective  string   `json:"objective"`
+	Space      []string `json:"space"` // resolved parameter list the pool samples over
+	Candidates int      `json:"candidates"`
+	Eta        int      `json:"eta"`
+	MinReps    int      `json:"min_reps"`
+	MaxReps    int      `json:"max_reps"`
+	Seed       int64    `json:"seed"`
+	Scale      float64  `json:"scale"`
+}
+
+// TuneRound is one streamed successive-halving round: the surviving
+// candidates, the best configuration so far, and the cache activity the
+// round triggered (hits grow as survivors re-request runs earlier rounds
+// already paid for).
+type TuneRound struct {
+	search.Round
+	Cache runcache.Stats `json:"cache"`
+}
+
+// TuneFooter is the last NDJSON line and the retained job result: the
+// winner with its full evaluation series, the budget actually spent, and
+// the cache activity attributed to the whole search.
+type TuneFooter struct {
+	Winner      search.Candidate `json:"winner"`
+	DefaultMean float64          `json:"default_mean_s"`
+	Speedup     float64          `json:"speedup"`
+	Rounds      int              `json:"rounds"`
+	Evaluations int              `json:"evaluations"`
+	RepRuns     int              `json:"rep_runs"`
+	Cancelled   bool             `json:"cancelled"`
+	Error       string           `json:"error,omitempty"`
+	Seconds     float64          `json:"seconds"`
+	Cache       runcache.Stats   `json:"cache"`
+}
+
+// handleTune serves POST /v1/tune: validate and resolve the search, then
+// stream one NDJSON line per completed halving round (header first, footer
+// last). Every candidate evaluation is one DoWait task on the job queue,
+// so a search shares workers fairly with everything else the server is
+// doing and saturation backpressures the search instead of failing it. A
+// client disconnect or DELETE /v1/jobs/{id} cancels the search; rounds
+// already streamed are the partial progress.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	// Shutdown check before any byte of the stream: once the NDJSON header
+	// is out, a closed queue can only be reported in-band, so a search that
+	// arrives after Close gets its 503 here (shutdown is 503, never 429 —
+	// see pool.ErrQueueClosed).
+	if s.queue.Closed() {
+		writeError(w, http.StatusServiceUnavailable, "%v", pool.ErrQueueClosed)
+		return
+	}
+	var req TuneRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing workload")
+		return
+	}
+	if !workload.Known(req.Workload) {
+		writeError(w, http.StatusBadRequest, "%v %q", workload.ErrUnknown, req.Workload)
+		return
+	}
+	for _, name := range req.Space {
+		if !s.checkParam(w, name) {
+			return
+		}
+	}
+	candidates := req.Candidates
+	if candidates == 0 {
+		candidates = 8
+	}
+	if candidates < 2 || candidates > s.opts.MaxTuneCandidates {
+		writeError(w, http.StatusBadRequest, "candidates must be in [2, %d], got %d", s.opts.MaxTuneCandidates, candidates)
+		return
+	}
+	if req.Eta < 0 || req.Eta == 1 {
+		writeError(w, http.StatusBadRequest, "eta must be >= 2, got %d", req.Eta)
+		return
+	}
+	maxReps := req.MaxReps
+	if maxReps == 0 {
+		maxReps = s.opts.Reps
+	}
+	if maxReps < 1 || maxReps > s.opts.MaxReps {
+		writeError(w, http.StatusBadRequest, "max_reps must be in [1, %d], got %d", s.opts.MaxReps, maxReps)
+		return
+	}
+	if req.MinReps < 0 || req.MinReps > maxReps {
+		writeError(w, http.StatusBadRequest, "min_reps must be in [1, %d], got %d", maxReps, req.MinReps)
+		return
+	}
+	var objective search.Objective
+	if req.Objective != nil {
+		var err error
+		if objective, err = req.Objective.Build(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	opts := search.Options{
+		Workload:   req.Workload,
+		Space:      req.Space,
+		Candidates: candidates,
+		Eta:        req.Eta,
+		MinReps:    req.MinReps,
+		MaxReps:    maxReps,
+		Seed:       seed,
+		Parallel:   candidates, // queue workers are the real execution bound
+		Objective:  objective,
+		Registry:   s.eng.Registry(),
+		Env: params.SystemEnv(
+			int64(s.opts.Spec.MemoryMBPerNode), int64(s.opts.Spec.OSTCount), nil),
+	}
+	opts = opts.WithDefaults()
+
+	job := s.jobs.create("tune", req.Workload)
+	// Like sweeps, the search descends from the request context (client
+	// disconnect stops it) with its own cancel so DELETE works.
+	rctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	job.setCancel(cancel)
+	job.setTotal(search.RoundsFor(opts))
+	job.start()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	before := s.cache.Stats()
+	last := before
+	t0 := time.Now()
+	writeLine(TuneHeader{
+		Job: job.id, Workload: opts.Workload, Objective: opts.Objective.Name(),
+		Space: opts.Space, Candidates: opts.Candidates, Eta: opts.Eta,
+		MinReps: opts.MinReps, MaxReps: opts.MaxReps,
+		Seed: opts.Seed, Scale: s.opts.Scale,
+	})
+
+	// Each candidate evaluation is one blocking queue task; the search's
+	// per-round fan-out parks on DoWait until workers free up, exactly like
+	// sweep cells.
+	eval := func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+		var (
+			walls  []float64
+			sum    stats.Summary
+			runErr error
+		)
+		qerr := s.queue.DoWait(ctx, func(ctx context.Context) {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				return
+			}
+			walls, sum, runErr = func() (walls []float64, sum stats.Summary, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("tune evaluation panicked: %v", r)
+					}
+				}()
+				return s.eng.EvaluateSeries(ctx, wl, cfg, reps, seedBase)
+			}()
+		})
+		if qerr != nil {
+			return nil, stats.Summary{}, qerr
+		}
+		return walls, sum, runErr
+	}
+
+	res, runErr := search.Run(rctx, eval, opts, func(rd search.Round) {
+		now := s.cache.Stats()
+		writeLine(TuneRound{Round: rd, Cache: now.Delta(last)})
+		last = now
+		job.cellDone()
+	})
+
+	delta := s.cache.Stats().Delta(before)
+	footer := TuneFooter{
+		Cancelled: rctx.Err() != nil,
+		Seconds:   time.Since(t0).Seconds(),
+		Cache:     delta,
+	}
+	if runErr != nil && !footer.Cancelled {
+		// A queue closed mid-search is a shutdown, not a search failure; the
+		// footer says so explicitly since the 200 header is already out.
+		if errors.Is(runErr, pool.ErrQueueClosed) {
+			footer.Error = "service shutting down: " + runErr.Error()
+		} else {
+			footer.Error = runErr.Error()
+		}
+	}
+	if res != nil {
+		footer.Winner = res.Winner
+		footer.DefaultMean = res.DefaultMean
+		footer.Speedup = res.Speedup()
+		footer.Rounds = len(res.Rounds)
+		footer.Evaluations = res.Evaluations
+		footer.RepRuns = res.RepRuns
+	}
+	// One marshal serves both the stream's footer line and the retained job
+	// result, so polling the job re-serves exactly what was streamed.
+	data, _ := json.Marshal(footer)
+	writeLine(json.RawMessage(data))
+	switch {
+	case runErr != nil:
+		job.fail(runErr, &delta)
+	default:
+		job.finish(data, &delta)
+	}
+}
