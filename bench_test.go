@@ -33,8 +33,20 @@ import (
 	"stellar/internal/runcache"
 	"stellar/internal/search"
 	"stellar/internal/server"
+	"stellar/internal/sim"
 	"stellar/internal/workload"
 )
+
+// reportEvents attaches kernel throughput to a benchmark that drives the
+// simulator: discrete events fired per wall-clock second over the timed
+// section, measured from the process-wide counter. Call with sim.TotalFired()
+// captured right after b.ResetTimer.
+func reportEvents(b *testing.B, start uint64) {
+	b.Helper()
+	if d := sim.TotalFired() - start; d > 0 {
+		b.ReportMetric(float64(d)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
 
 // benchCfg keeps each figure regeneration fast enough to iterate.
 func benchCfg() experiments.Config {
@@ -149,11 +161,13 @@ func benchEvaluateWithPlatform(b *testing.B, p platform.Platform) {
 	cfg := params.DefaultConfig(eng.Registry())
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := sim.TotalFired()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Evaluate(context.Background(), "IOR_16M", cfg, 8, 99); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportEvents(b, start)
 }
 
 // BenchmarkEvaluateUncached re-simulates the eight repetitions on every
@@ -291,11 +305,13 @@ func BenchmarkSimulatorIOR16M(b *testing.B) {
 	cfg := params.DefaultConfig(params.Lustre())
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := sim.TotalFired()
 	for i := 0; i < b.N; i++ {
 		if _, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportEvents(b, start)
 }
 
 // BenchmarkSimulatorMDWorkbench measures one simulated MDWorkbench_8K
@@ -306,11 +322,13 @@ func BenchmarkSimulatorMDWorkbench(b *testing.B) {
 	cfg := params.DefaultConfig(params.Lustre())
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := sim.TotalFired()
 	for i := 0; i < b.N; i++ {
 		if _, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportEvents(b, start)
 }
 
 // BenchmarkRAGIndexBuild measures chunking plus embedding of the manual.

@@ -28,6 +28,17 @@
 //	                               # spent, and the cache delta (a second run
 //	                               # over the same -cache-dir must report zero
 //	                               # misses and the identical winner)
+//	stellar-bench -sim-passes 3 -json BENCH_sim.json
+//	                               # raw event-kernel throughput: drive the
+//	                               # deterministic sim.Workout mix with no
+//	                               # model, cache, or HTTP above it and record
+//	                               # events/sec and allocs/event per pass —
+//	                               # the baseline the CI perf gate compares
+//	                               # fresh runs against
+//
+// Every recorded pass carries the discrete-event counters observed while it
+// ran — events fired, events/sec, allocations per event — so any BENCH_*.json
+// trajectory doubles as a kernel-throughput trend line.
 //
 // The -parallel fan-out is deterministic: tables are bit-identical to a
 // serial run with the same seed — and with -cache they stay bit-identical
@@ -47,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +69,7 @@ import (
 	"stellar/internal/pool"
 	"stellar/internal/runcache"
 	"stellar/internal/server"
+	"stellar/internal/sim"
 )
 
 // benchRecord is one machine-readable measurement: the wall-clock cost of
@@ -78,6 +91,43 @@ type benchRecord struct {
 	Rounds      int              `json:"rounds,omitempty"`
 	Evaluations int              `json:"evaluations,omitempty"`
 	Speedup     float64          `json:"speedup,omitempty"`
+	// Kernel counters observed during the pass: discrete events fired, the
+	// rate they fired at, and heap allocations per event across the whole
+	// process. Zero (and omitted) on passes that run no simulation, e.g.
+	// replay-platform regenerations.
+	Events         uint64  `json:"events,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+}
+
+// simMeter snapshots the process-wide event counter and allocation tally at
+// the start of a pass so the pass record can carry events, events/sec, and
+// allocs/event alongside its wall-clock. Allocations are whole-process
+// (runtime.MemStats.Mallocs), so on serving passes the figure includes HTTP
+// and JSON overhead — on -sim-passes it is the bare kernel.
+type simMeter struct {
+	events uint64
+	allocs uint64
+}
+
+func newSimMeter() simMeter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return simMeter{events: sim.TotalFired(), allocs: ms.Mallocs}
+}
+
+func (m simMeter) record(rec *benchRecord, seconds float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ev := sim.TotalFired() - m.events
+	if ev == 0 {
+		return
+	}
+	rec.Events = ev
+	rec.AllocsPerEvent = float64(ms.Mallocs-m.allocs) / float64(ev)
+	if seconds > 0 {
+		rec.EventsPerSec = float64(ev) / seconds
+	}
 }
 
 // records accumulates the per-pass measurements; jsonPath is the -json
@@ -100,6 +150,7 @@ func main() {
 		serveN   = flag.Int("serve-requests", 0, "also measure stellar-serve throughput: fire this many identical HTTP evaluate requests at an in-process server and record the pass (0 = skip)")
 		sweepN   = flag.Int("sweep-requests", 0, "also measure the batch sweep API: POST one parameter grid with this many cells to an in-process server, stream the NDJSON results, and record the pass with shard/persistence cache stats (0 = skip)")
 		tuneN    = flag.Int("tune-requests", 0, "also measure the adaptive tuning search: POST /v1/tune with this many candidates to an in-process server, stream the NDJSON rounds, and record the winner, budget, and cache delta (0 = skip)")
+		simN     = flag.Int("sim-passes", 0, "also measure raw event-kernel throughput: run the deterministic sim.Workout mix this many times and record events/sec and allocs/event per pass (0 = skip)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -120,6 +171,7 @@ func main() {
 	defer stop()
 
 	run := func(id string, pass int) {
+		meter := newSimMeter()
 		t0 := time.Now()
 		var before runcache.Stats
 		if cache != nil {
@@ -135,6 +187,7 @@ func main() {
 			Experiment: id, Pass: pass,
 			Seconds: elapsed.Seconds(), Platform: plat.Name(),
 		}
+		meter.record(&rec, elapsed.Seconds())
 		if cache != nil {
 			delta := cache.Stats().Delta(before)
 			rec.Cache = &delta
@@ -149,13 +202,20 @@ func main() {
 	ids := []string{}
 	if *fig != "" {
 		ids = append(ids, *fig)
-	} else if *serveN == 0 && *sweepN == 0 && *tuneN == 0 {
+	} else if *serveN == 0 && *sweepN == 0 && *tuneN == 0 && *simN == 0 {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		for pass := 1; pass <= *repeat; pass++ {
 			run(id, pass)
 		}
+	}
+
+	for pass := 1; pass <= *simN; pass++ {
+		rec := simPass(pass)
+		records = append(records, rec)
+		fmt.Printf("(sim pass %d: %d events in %.3fs, %.2fM events/s, %.4f allocs/event)\n",
+			pass, rec.Events, rec.Seconds, rec.EventsPerSec/1e6, rec.AllocsPerEvent)
 	}
 
 	if *serveN > 0 {
@@ -194,6 +254,31 @@ func main() {
 	flushJSON()
 }
 
+// simPass measures the raw event kernel with no lustre model, run cache, or
+// HTTP stack above it: the deterministic sim.Workout mix of timer chains,
+// pipe transfers, resource contention, and same-instant grant wakeups, the
+// same body BenchmarkEngineRun times. Its events_per_sec is the number the CI
+// sim-perf gate compares against the committed BENCH_sim.json baseline, and
+// its allocs_per_event is the cleanest view of the allocation-free hot loop
+// (an unmeasured warm-up round runs first so one-time runtime initialization
+// is not charged to the measured passes).
+func simPass(pass int) benchRecord {
+	const chains, ops, rounds = 64, 256, 16
+	if pass == 1 {
+		sim.Workout(chains, ops)
+		runtime.GC()
+	}
+	meter := newSimMeter()
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		sim.Workout(chains, ops)
+	}
+	elapsed := time.Since(t0).Seconds()
+	rec := benchRecord{Experiment: "sim", Pass: pass, Seconds: elapsed, Platform: "kernel"}
+	meter.record(&rec, elapsed)
+	return rec
+}
+
 // servePass measures tuning-as-a-service throughput: an in-process
 // stellar-serve instance on an ephemeral port, n identical evaluate
 // requests fanned over the experiment worker pool, recorded like any other
@@ -218,6 +303,7 @@ func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 	url := "http://" + ln.Addr().String() + "/v1/evaluate"
 	body := fmt.Sprintf(`{"workload":"IOR_16M","reps":%d,"seed":%d}`, cfg.Reps, cfg.Seed)
 	before := srv.Cache().Stats()
+	meter := newSimMeter()
 	t0 := time.Now()
 	err = pool.Map(ctx, cfg.Parallel, n, func(ctx context.Context, i int) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
@@ -242,11 +328,13 @@ func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 	}
 	elapsed := time.Since(t0).Seconds()
 	delta := srv.Cache().Stats().Delta(before)
-	return benchRecord{
+	rec := benchRecord{
 		Experiment: "serve", Pass: 1, Seconds: elapsed,
 		Platform: srv.Platform().Name(), Cache: &delta,
 		Requests: n, RPS: float64(n) / elapsed,
-	}, nil
+	}
+	meter.record(&rec, elapsed)
+	return rec, nil
 }
 
 // sweepPass measures the batch sweep API: an in-process stellar-serve
@@ -283,6 +371,7 @@ func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 		cfg.Reps, cfg.Seed, strings.Join(vals, ","))
 
 	before := srv.Cache().Stats()
+	meter := newSimMeter()
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+ln.Addr().String()+"/v1/sweeps", strings.NewReader(body))
@@ -316,11 +405,13 @@ func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 	}
 	elapsed := time.Since(t0).Seconds()
 	delta := srv.Cache().Stats().Delta(before)
-	return benchRecord{
+	rec := benchRecord{
 		Experiment: "sweep", Pass: 1, Seconds: elapsed,
 		Platform: srv.Platform().Name(), Cache: &delta,
 		Requests: n, RPS: float64(n) / elapsed,
-	}, nil
+	}
+	meter.record(&rec, elapsed)
+	return rec, nil
 }
 
 // tunePass measures the adaptive tuning-search API: an in-process
@@ -348,6 +439,7 @@ func tunePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache
 	body := fmt.Sprintf(`{"workload":"IOR_16M","candidates":%d,"max_reps":%d,"seed":%d}`,
 		n, cfg.Reps, cfg.Seed)
 	before := srv.Cache().Stats()
+	meter := newSimMeter()
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+ln.Addr().String()+"/v1/tune", strings.NewReader(body))
@@ -381,13 +473,15 @@ func tunePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache
 	}
 	elapsed := time.Since(t0).Seconds()
 	delta := srv.Cache().Stats().Delta(before)
-	return benchRecord{
+	rec := benchRecord{
 		Experiment: "tune", Pass: 1, Seconds: elapsed,
 		Platform: srv.Platform().Name(), Cache: &delta,
 		Requests: n, RPS: float64(footer.Evaluations) / elapsed,
 		Winner: footer.Winner.Config, Rounds: footer.Rounds,
 		Evaluations: footer.Evaluations, Speedup: footer.Speedup,
-	}, nil
+	}
+	meter.record(&rec, elapsed)
+	return rec, nil
 }
 
 // flushJSON writes whatever passes completed so far. Called on both the

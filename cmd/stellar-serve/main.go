@@ -53,6 +53,7 @@ type serveConfig struct {
 	scale    float64
 	seed     int64
 	parallel int
+	pprof    bool
 	pf       *cli.PlatformFlags
 }
 
@@ -65,6 +66,7 @@ func main() {
 	flag.Float64Var(&cfg.scale, "scale", workload.DefaultScale, "workload scale factor (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 7, "default seed base for requests that omit one")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "intra-job worker pool size (repetitions, figure arms)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 	cfg.pf = cli.RegisterPlatformFlags()
 	flag.Parse()
 
@@ -101,6 +103,7 @@ func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) erro
 		Workers:     cfg.workers,
 		Backlog:     cfg.backlog,
 		Parallel:    cfg.parallel,
+		Pprof:       cfg.pprof,
 	})
 	defer srv.Close()
 

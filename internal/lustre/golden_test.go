@@ -1,0 +1,68 @@
+package lustre_test
+
+import (
+	"context"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+// golden pins Result fields captured from the seed discrete-event kernel
+// (the container/heap implementation this PR replaced) on the default
+// cluster with default parameters. The optimized kernel must reproduce
+// every field bit-for-bit: the rewrite changed event storage and dispatch,
+// not event order, so any drift here means the (at, seq) contract broke —
+// and with it every recorded <key>.json replay and determinism test above
+// the simulator.
+type golden struct {
+	wall         float64
+	bytesRead    int64
+	bytesWritten int64
+	dataRPCs     uint64
+	metaRPCs     uint64
+	cacheHits    uint64
+	raHits       uint64
+	statHits     uint64
+	lastData     float64
+	lastMeta     float64
+	barriers     int
+}
+
+func TestKernelGoldenReplay(t *testing.T) {
+	spec := cluster.Default()
+	cfg := params.DefaultConfig(params.Lustre())
+	mks := map[string]func(int, float64) *workload.Workload{
+		"IOR_16M":        workload.IOR16M,
+		"MDWorkbench_8K": workload.MDWorkbench8K,
+	}
+	for _, tc := range []struct {
+		name  string
+		scale float64
+		seed  int64
+		want  golden
+	}{
+		{"IOR_16M", 0.05, 7, golden{wall: 23.08269366263013, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9909, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 23.08269366263013, lastMeta: 22.918913599560916, barriers: 2}},
+		{"IOR_16M", 0.1, 99, golden{wall: 23.08000177079802, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9896, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 23.08000177079802, lastMeta: 22.931328358819503, barriers: 2}},
+		{"MDWorkbench_8K", 0.05, 7, golden{wall: 0.09056157923368181, bytesRead: 24576000, bytesWritten: 24576000, dataRPCs: 3000, metaRPCs: 14605, cacheHits: 3000, raHits: 0, statHits: 6000, lastData: 0.08985048319597148, lastMeta: 0.09055757923368181, barriers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := mks[tc.name](spec.TotalRanks(), tc.scale)
+			res, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := golden{
+				wall: res.WallTime, bytesRead: res.BytesRead, bytesWritten: res.BytesWritten,
+				dataRPCs: res.DataRPCs, metaRPCs: res.MetaRPCs, cacheHits: res.CacheHits,
+				raHits: res.RAHits, statHits: res.StatHits,
+				lastData: res.LastDataRPC, lastMeta: res.LastMetaRPC, barriers: len(res.BarrierTimes),
+			}
+			if got != tc.want {
+				t.Fatalf("result diverged from seed kernel:\n got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"stellar/internal/cluster"
@@ -102,6 +103,14 @@ type Options struct {
 	// may sample (0 = 64); beyond it the request is rejected with 400
 	// before any evaluation runs.
 	MaxTuneCandidates int
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler, so
+	// `go tool pprof http://host/debug/pprof/profile` can profile the
+	// serving process under live load — the measure-first discipline the
+	// kernel optimization used, available in production. Off by default:
+	// profiles expose internals, so exposure is an operator decision
+	// (stellar-serve -pprof).
+	Pprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -220,6 +229,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -460,6 +460,32 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
+func TestPprofExposure(t *testing.T) {
+	// Off by default: profiling endpoints must not leak into a handler
+	// that was not asked for them.
+	_, plain := newTestServer(t, Options{})
+	if resp, _ := get(t, plain.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without opt-in: HTTP %d", resp.StatusCode)
+	}
+
+	_, ts := newTestServer(t, Options{Pprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, data := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", path, resp.StatusCode, data)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+	// The index lists the runtime profiles; spot-check one so a routing
+	// change that serves a wrong handler under the prefix gets caught.
+	resp, data := get(t, ts.URL+"/debug/pprof/heap?debug=1")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("heap profile")) {
+		t.Fatalf("heap profile: HTTP %d: %.80s", resp.StatusCode, data)
+	}
+}
+
 // sweepLines posts a sweep request and splits the NDJSON response into its
 // header, cell lines, and footer.
 func sweepLines(t *testing.T, url, body string) (SweepHeader, []SweepCell, SweepFooter) {

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineRun is the kernel throughput benchmark the CI perf gate
+// mirrors: one Workout pass per iteration, reporting events/sec and (via
+// -benchmem or ReportAllocs) allocs per event. The committed BENCH_sim.json
+// baseline is produced from the same Workout mix by `stellar-bench
+// -sim-passes`.
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += Workout(32, 64)
+	}
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("workout fired no events")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkEngineTimerWheel measures the pure time-ordered path: a single
+// chain of After timers with no same-instant traffic, i.e. worst case for
+// the heap and no help from the FIFO lane.
+func BenchmarkEngineTimerWheel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 4096 {
+				e.After(1e-6, tick)
+			}
+		}
+		e.At(0, tick)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineSameInstant measures the same-instant fast path: a
+// capacity-1 resource with a deep queue, so nearly every event is a grant
+// dispatched at the current instant.
+func BenchmarkEngineSameInstant(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		r := NewResource(e, "r", 1)
+		release := func() { r.Release() }
+		for j := 0; j < 4096; j++ {
+			r.Acquire(release)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkResourceContention isolates Acquire/Release bookkeeping under a
+// deep waiter queue — the path the ring-buffer queue and closure-free wait
+// accounting optimize.
+func BenchmarkResourceContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		r := NewResource(e, "r", 2)
+		done := 0
+		cb := func() { done++ }
+		for j := 0; j < 1024; j++ {
+			r.Use(1e-5, cb)
+		}
+		e.Run()
+		if done != 1024 {
+			b.Fatalf("done = %d", done)
+		}
+	}
+}

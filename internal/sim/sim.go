@@ -6,58 +6,48 @@
 // chains multi-stage operations (client window -> NIC -> server disk) by
 // passing completion callbacks through Resource.Acquire. This keeps a full
 // tuning run (hundreds of thousands of events) in the low milliseconds.
+//
+// The hot path is (near-)allocation-free: event payloads live in a reusable
+// arena, the time-ordered queue is a hand-rolled 4-ary min-heap of
+// pointer-free {at, seq, idx} records, same-instant wakeups go through a
+// FIFO fast lane instead of the heap, resource wait queues are ring
+// buffers, and the Acquire/Use grant paths record their bookkeeping in
+// waiter slots instead of capture closures. Event ordering is bit-identical
+// to the original container/heap kernel — strictly increasing (at, seq) —
+// which the equivalence and fuzz suites in this package assert against a
+// reference implementation.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
-
-// Event is a scheduled closure. Events with equal times fire in scheduling
-// order (stable), which keeps runs deterministic.
-type event struct {
-	at   float64
-	seq  uint64
-	fire func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     float64
-	seq     uint64
-	events  eventHeap
+	now float64
+	seq uint64
+	// heap holds time-ordered future events; lane holds events scheduled at
+	// the current instant (at == now), which dominate real runs because
+	// every Resource grant is a same-instant wakeup. Lane entries are
+	// already (at, seq)-sorted, so the run loop merges the two queues by
+	// head comparison instead of paying a heap sift per same-instant event.
+	// Payloads live in arena slots recycled through free; see heap.go.
+	heap  []heapItem
+	lane  ring[laneItem]
+	arena []event
+	free  []int32
+
 	fired   uint64
 	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated time in seconds.
@@ -66,28 +56,68 @@ func (e *Engine) Now() float64 { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// totalFired accumulates events fired across all engines in the process,
+// added once per RunContext return rather than per event so the hot loop
+// carries no atomics. stellar-bench uses the delta to report events/sec and
+// allocs/event for every pass.
+var totalFired atomic.Uint64
+
+// TotalFired returns the process-wide count of simulation events executed
+// by completed or aborted runs.
+func TotalFired() uint64 { return totalFired.Load() }
+
 // At schedules fn to run at absolute time t. Scheduling in the past or at a
 // non-finite instant panics: both always indicate a model bug, and a NaN
 // would otherwise slip through the past-check (every comparison against NaN
 // is false) and silently corrupt the event heap's ordering invariant.
 func (e *Engine) At(t float64, fn func()) {
-	if math.IsNaN(t) || math.IsInf(t, 0) {
-		panic(fmt.Sprintf("sim: scheduling at non-finite time %g", t))
-	}
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fire: fn})
+	e.schedule(t, event{kind: evFire, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative or non-finite d
 // panics.
 func (e *Engine) After(d float64, fn func()) {
-	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+	if !(d >= 0 && d <= math.MaxFloat64) { // rejects negatives, NaN, ±Inf in one branch
 		panic(fmt.Sprintf("sim: negative or non-finite delay %g", d))
 	}
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, event{kind: evFire, fn: fn})
+}
+
+// schedule stamps the event with the next sequence number and enqueues it:
+// the FIFO lane when it lands on the current instant, the heap otherwise.
+func (e *Engine) schedule(t float64, ev event) {
+	if !(t >= e.now && t <= math.MaxFloat64) {
+		// Slow path only for the panic message: NaN and ±Inf fail the
+		// combined guard just like past times do.
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			panic(fmt.Sprintf("sim: scheduling at non-finite time %g", t))
+		}
+		panic(fmt.Sprintf("sim: scheduling into the past: t=%g now=%g", t, e.now))
+	}
+	e.seq++
+	idx := e.alloc(ev)
+	if t == e.now {
+		e.lane.push(laneItem{seq: e.seq, idx: idx})
+	} else {
+		e.heapPush(heapItem{at: t, seq: e.seq, idx: idx})
+	}
+}
+
+// scheduleNow enqueues a kernel-generated event at the current instant —
+// the Resource grant path, which needs none of schedule's range checks.
+func (e *Engine) scheduleNow(ev event) {
+	e.seq++
+	e.lane.push(laneItem{seq: e.seq, idx: e.alloc(ev)})
+}
+
+// afterDelay is After for internal kernel events; it applies After's
+// validation so model bugs (a negative or NaN service time) panic at the
+// same instant, with the same message, as the closure-based idiom did.
+func (e *Engine) afterDelay(d float64, ev event) {
+	if !(d >= 0 && d <= math.MaxFloat64) {
+		panic(fmt.Sprintf("sim: negative or non-finite delay %g", d))
+	}
+	e.schedule(e.now+d, ev)
 }
 
 // Stop aborts the run loop after the current event returns.
@@ -115,22 +145,76 @@ func (e *Engine) RunContext(ctx context.Context, checkEvery uint64) (float64, er
 		checkEvery = DefaultCheckEvery
 	}
 	e.stopped = false
-	for e.events.Len() > 0 && !e.stopped {
-		if e.fired%checkEvery == 0 {
+	start := e.fired
+	defer func() { totalFired.Add(e.fired - start) }()
+	// countdown replaces the old `fired % checkEvery == 0` test: a
+	// decrement and branch instead of an integer division per event. It
+	// starts at zero so the context is polled before the first event, as
+	// the modulo did at fired == 0.
+	var countdown uint64
+	for (e.lane.n > 0 || len(e.heap) > 0) && !e.stopped {
+		if countdown == 0 {
 			if err := ctx.Err(); err != nil {
 				return e.now, err
 			}
+			countdown = checkEvery
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
+		countdown--
+		// Merge the two queues on (at, seq). Lane entries sit at the
+		// current instant, so the heap head loses whenever it is in the
+		// future; on a time tie the lower sequence number fires first.
+		var idx int32
+		if e.lane.n > 0 && (len(e.heap) == 0 ||
+			e.heap[0].at > e.now || e.lane.peek().seq < e.heap[0].seq) {
+			idx = e.lane.pop().idx
+		} else {
+			it := e.heapPop()
+			e.now = it.at
+			idx = it.idx
+		}
 		e.fired++
-		ev.fire()
+		ev := e.take(idx)
+		switch ev.kind {
+		case evFire:
+			ev.fn()
+		case evGrant:
+			ev.res.acquires++
+			ev.res.totalWait += ev.wait
+			ev.fn()
+		case evUseStart:
+			ev.res.acquires++
+			ev.res.totalWait += ev.wait
+			e.afterDelay(ev.arg, event{kind: evUseEnd, res: ev.res, fn: ev.fn})
+		case evUseEnd:
+			ev.res.Release()
+			if ev.fn != nil {
+				ev.fn()
+			}
+		}
 	}
 	return e.now, nil
 }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.heap) + e.lane.len() }
+
+// waiterKind tells dispatch what to schedule at the grant instant.
+type waiterKind uint8
+
+const (
+	wAcquire waiterKind = iota // fire fn()
+	wUse                       // start the service timer, then release + fn
+)
+
+// waiter is one queued Acquire or Use request. Recording reqAt (and, for
+// Use, the service parameters) in the slot replaces the per-Acquire capture
+// closure the queue used to hold.
+type waiter struct {
+	reqAt   float64
+	kind    waiterKind
+	fn      func()  // wAcquire: got; wUse: done (may be nil)
+	service float64 // wUse
+}
 
 // Resource models a station with a fixed number of parallel servers and a
 // FIFO queue, e.g. an OST with N service threads or an RPC-window slot pool.
@@ -142,15 +226,14 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	queue    []func()
+	queue    ring[waiter]
 
 	// Statistics.
-	totalWait   float64
-	acquires    uint64
-	queuedPeak  int
-	busyTime    float64
-	lastChange  float64
-	utilSamples float64
+	totalWait  float64
+	acquires   uint64
+	queuedPeak int
+	busyTime   float64
+	lastChange float64
 }
 
 // NewResource creates a resource with the given number of parallel servers.
@@ -171,7 +254,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of waiters.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
 // SetCapacity grows or shrinks the server pool. Shrinking below the number
 // of busy servers is allowed; the pool drains naturally.
@@ -184,23 +267,36 @@ func (r *Resource) SetCapacity(c int) {
 }
 
 func (r *Resource) accountBusy() {
-	dt := r.eng.Now() - r.lastChange
+	dt := r.eng.now - r.lastChange
 	r.busyTime += dt * float64(r.inUse)
-	r.lastChange = r.eng.Now()
+	r.lastChange = r.eng.now
 }
+
+// Finalize closes the utilization accounting interval at the current clock:
+// busy time between the last state change and end-of-run is credited, so
+// BusyTime of a resource still holding servers when the queue drains (or
+// when Stop fires) reflects the full run. Calling it more than once, or on
+// an idle resource, is harmless; Stats called before Finalize reports busy
+// time only up to the last state change, exactly as it always has.
+func (r *Resource) Finalize() { r.accountBusy() }
 
 // Acquire requests a server slot; got runs (as a scheduled event at the
 // acquisition instant) once a slot is owned. The waiting time is recorded.
 func (r *Resource) Acquire(got func()) {
-	reqAt := r.eng.Now()
-	wrapped := func() {
-		r.acquires++
-		r.totalWait += r.eng.Now() - reqAt
-		got()
-	}
-	r.queue = append(r.queue, wrapped)
-	if len(r.queue) > r.queuedPeak {
-		r.queuedPeak = len(r.queue)
+	r.enqueue(waiter{reqAt: r.eng.now, kind: wAcquire, fn: got})
+}
+
+// Use acquires a slot, holds it for service seconds, releases it, then runs
+// done. It is the common acquire/delay/release idiom, executed natively by
+// the kernel so it costs no closure allocations.
+func (r *Resource) Use(service float64, done func()) {
+	r.enqueue(waiter{reqAt: r.eng.now, kind: wUse, fn: done, service: service})
+}
+
+func (r *Resource) enqueue(w waiter) {
+	r.queue.push(w)
+	if r.queue.n > r.queuedPeak {
+		r.queuedPeak = r.queue.n
 	}
 	r.dispatch()
 }
@@ -216,28 +312,23 @@ func (r *Resource) Release() {
 }
 
 func (r *Resource) dispatch() {
-	for r.inUse < r.capacity && len(r.queue) > 0 {
-		next := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.inUse < r.capacity && r.queue.n > 0 {
+		w := r.queue.pop()
 		r.accountBusy()
 		r.inUse++
-		// Fire as an event so acquisition order interleaves with other
-		// same-instant activity deterministically.
-		r.eng.After(0, next)
+		// The grant fires as a same-instant event so acquisition order
+		// interleaves with other activity deterministically. The wait time
+		// is computed here — the grant fires at this exact instant, so the
+		// value is what the old capture closure would have measured — but
+		// it is credited only when the grant fires (see RunContext), which
+		// keeps Stats identical to the seed kernel even across Stop.
+		wait := r.eng.now - w.reqAt
+		if w.kind == wUse {
+			r.eng.scheduleNow(event{kind: evUseStart, res: r, arg: w.service, fn: w.fn, wait: wait})
+		} else {
+			r.eng.scheduleNow(event{kind: evGrant, res: r, fn: w.fn, wait: wait})
+		}
 	}
-}
-
-// Use acquires a slot, holds it for service seconds, releases it, then runs
-// done. It is the common acquire/delay/release idiom.
-func (r *Resource) Use(service float64, done func()) {
-	r.Acquire(func() {
-		r.eng.After(service, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
 }
 
 // Stats summarises resource behaviour over a run.
@@ -267,8 +358,8 @@ type Pipe struct {
 
 // NewPipe creates a link with the given rate in bytes/second.
 func NewPipe(eng *Engine, name string, rate float64) *Pipe {
-	if rate <= 0 {
-		panic("sim: pipe rate must be positive: " + name)
+	if !(rate > 0 && rate <= math.MaxFloat64) {
+		panic("sim: pipe rate must be positive and finite: " + name)
 	}
 	return &Pipe{res: NewResource(eng, name, 1), rate: rate}
 }
@@ -276,16 +367,24 @@ func NewPipe(eng *Engine, name string, rate float64) *Pipe {
 // Rate returns the link rate in bytes/second.
 func (p *Pipe) Rate() float64 { return p.rate }
 
-// Send transfers size bytes through the link and then runs done.
+// Send transfers size bytes through the link and then runs done. A
+// negative, NaN, or infinite size panics here, at the source: `size < 0`
+// alone lets NaN and +Inf through to the service-time computation, where
+// they would only surface later as a confusing non-finite-delay panic (or,
+// for +Inf, a transfer pinning the clock at infinity) far from the buggy
+// caller.
 func (p *Pipe) Send(size float64, done func()) {
-	if size < 0 {
-		panic("sim: negative transfer size")
+	if !(size >= 0 && size <= math.MaxFloat64) {
+		panic(fmt.Sprintf("sim: negative or non-finite transfer size %g on pipe %s", size, p.res.name))
 	}
 	p.res.Use(size/p.rate, done)
 }
 
 // Stats exposes the underlying resource statistics.
 func (p *Pipe) Stats() Stats { return p.res.Stats() }
+
+// Finalize closes the utilization accounting interval; see Resource.Finalize.
+func (p *Pipe) Finalize() { p.res.Finalize() }
 
 // Gate is a counting semaphore without service time — callers acquire
 // a token, do arbitrary asynchronous work, and release it later. It is used
@@ -316,6 +415,9 @@ func (g *Gate) InFlight() int { return g.res.InUse() }
 
 // Stats exposes gate queueing statistics.
 func (g *Gate) Stats() Stats { return g.res.Stats() }
+
+// Finalize closes the utilization accounting interval; see Resource.Finalize.
+func (g *Gate) Finalize() { g.res.Finalize() }
 
 // WaitGroup counts outstanding asynchronous operations inside the
 // simulation and fires a callback when the count returns to zero.

@@ -178,6 +178,101 @@ func TestResourceWaitAccounting(t *testing.T) {
 	}
 }
 
+// TestResourceFinalizeBusyAccounting: busyTime only accrues on state
+// changes, so a resource still holding servers when the queue drains used
+// to lose the tail interval. Finalize closes it: a fully-busy resource's
+// BusyTime equals the run length.
+func TestResourceFinalizeBusyAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	// Hold the only server for the whole run: acquire at t=0, never release;
+	// a timer at t=10 defines the run length.
+	r.Acquire(func() {})
+	e.At(10, func() {})
+	if end := e.Run(); end != 10 {
+		t.Fatalf("end = %g, want 10", end)
+	}
+	if s := r.Stats(); s.BusyTime != 0 {
+		t.Fatalf("pre-Finalize busy = %g, want 0 (no state change since acquire)", s.BusyTime)
+	}
+	r.Finalize()
+	if s := r.Stats(); s.BusyTime != 10 {
+		t.Fatalf("busy = %g, want full run length 10", s.BusyTime)
+	}
+	// Finalize is idempotent: a second call at the same clock adds nothing.
+	r.Finalize()
+	if s := r.Stats(); s.BusyTime != 10 {
+		t.Fatalf("busy after second Finalize = %g, want 10", s.BusyTime)
+	}
+}
+
+// TestGateFinalize covers the wrapper path: a gate entered and never left
+// accounts its hold time once finalized.
+func TestGateFinalize(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, "g", 2)
+	g.Enter(func() {})
+	e.At(4, func() {})
+	e.Run()
+	g.Finalize()
+	if s := g.Stats(); s.BusyTime != 4 {
+		t.Fatalf("busy = %g, want 4", s.BusyTime)
+	}
+}
+
+// TestPipeSendRejectsNonFiniteSizes: `size < 0` alone lets NaN and +Inf
+// through to the service-time computation, where they would only surface as
+// a confusing non-finite-delay panic deep in the event loop (or a transfer
+// that pins the clock at infinity). Send must reject them at the source.
+func TestPipeSendRejectsNonFiniteSizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		size float64
+	}{
+		{"negative", -1},
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine()
+			p := NewPipe(e, "nic", 100)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Send(%g) did not panic", tc.size)
+				}
+			}()
+			p.Send(tc.size, nil)
+		})
+	}
+	// A finite send after a rejected one is unaffected.
+	e := NewEngine()
+	p := NewPipe(e, "nic", 100)
+	func() {
+		defer func() { recover() }()
+		p.Send(math.NaN(), nil)
+	}()
+	completed := false
+	p.Send(50, func() { completed = true })
+	if end := e.Run(); end != 0.5 || !completed {
+		t.Fatalf("finite send disturbed: end=%g completed=%v", end, completed)
+	}
+}
+
+// TestTotalFired: the process-wide counter advances by exactly the events a
+// run fired, once the run returns.
+func TestTotalFired(t *testing.T) {
+	before := TotalFired()
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if got := TotalFired() - before; got < 5 {
+		t.Fatalf("TotalFired advanced by %d, want >= 5", got)
+	}
+}
+
 func TestResourceGrowCapacityWakesWaiters(t *testing.T) {
 	e := NewEngine()
 	r := NewResource(e, "x", 1)
