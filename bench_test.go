@@ -177,6 +177,30 @@ func BenchmarkEvaluateUncached(b *testing.B) {
 	benchEvaluateWithPlatform(b, platform.Simulator{})
 }
 
+// BenchmarkEvaluateBatch drives Engine.EvaluateBatch directly: one workload
+// build and one pooled procfs snapshot shared across the eight repetitions,
+// the path /v1/evaluate, /v1/sweeps, and /v1/tune all sit on. Compare with
+// BenchmarkEvaluateUncached (same simulations through the public Evaluate
+// wrapper) — the per-rep walls are bit-identical by construction, asserted
+// in internal/core's batch test.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
+		Spec: cluster.Default(), TuningModel: simllm.Claude37,
+		AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+		Scale: 0.25, Platform: platform.Simulator{},
+	})
+	cfg := params.DefaultConfig(eng.Registry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := sim.TotalFired()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.EvaluateBatch(context.Background(), "IOR_16M", cfg, 8, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportEvents(b, start)
+}
+
 // BenchmarkEvaluateCached serves repeated configurations from the
 // content-addressed run cache: after the first iteration every trial is a
 // hit, so per-iteration cost collapses to hashing the RunSpec. Compare with

@@ -33,7 +33,10 @@
 //	                               # deterministic sim.Workout mix with no
 //	                               # model, cache, or HTTP above it and record
 //	                               # events/sec and allocs/event per pass —
-//	                               # the baseline the CI perf gate compares
+//	                               # plus the same number of uncached eight-rep
+//	                               # core.Evaluate passes recording eval_ms and
+//	                               # allocs_per_eval for the full model layer —
+//	                               # the baselines the CI perf gates compare
 //	                               # fresh runs against
 //
 // Every recorded pass carries the discrete-event counters observed while it
@@ -64,7 +67,11 @@ import (
 	"time"
 
 	"stellar/internal/cli"
+	"stellar/internal/cluster"
+	"stellar/internal/core"
 	"stellar/internal/experiments"
+	"stellar/internal/llm/simllm"
+	"stellar/internal/params"
 	"stellar/internal/platform"
 	"stellar/internal/pool"
 	"stellar/internal/runcache"
@@ -98,6 +105,13 @@ type benchRecord struct {
 	Events         uint64  `json:"events,omitempty"`
 	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	// Eval-pass fields: the wall-clock and whole-process allocation cost of
+	// one uncached eight-rep core.Evaluate — the full model layer (workload
+	// build, procfs snapshot, simulator, stats) with no cache or HTTP above
+	// it. These are the numbers the CI model-perf gate compares against the
+	// committed BENCH_sim.json baseline.
+	EvalMS        float64 `json:"eval_ms,omitempty"`
+	AllocsPerEval float64 `json:"allocs_per_eval,omitempty"`
 }
 
 // simMeter snapshots the process-wide event counter and allocation tally at
@@ -150,7 +164,7 @@ func main() {
 		serveN   = flag.Int("serve-requests", 0, "also measure stellar-serve throughput: fire this many identical HTTP evaluate requests at an in-process server and record the pass (0 = skip)")
 		sweepN   = flag.Int("sweep-requests", 0, "also measure the batch sweep API: POST one parameter grid with this many cells to an in-process server, stream the NDJSON results, and record the pass with shard/persistence cache stats (0 = skip)")
 		tuneN    = flag.Int("tune-requests", 0, "also measure the adaptive tuning search: POST /v1/tune with this many candidates to an in-process server, stream the NDJSON rounds, and record the winner, budget, and cache delta (0 = skip)")
-		simN     = flag.Int("sim-passes", 0, "also measure raw event-kernel throughput: run the deterministic sim.Workout mix this many times and record events/sec and allocs/event per pass (0 = skip)")
+		simN     = flag.Int("sim-passes", 0, "also measure raw event-kernel throughput (sim.Workout events/sec and allocs/event) plus uncached model-layer evaluation cost (core.Evaluate eval_ms and allocs_per_eval), this many passes of each (0 = skip)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -217,6 +231,15 @@ func main() {
 		fmt.Printf("(sim pass %d: %d events in %.3fs, %.2fM events/s, %.4f allocs/event)\n",
 			pass, rec.Events, rec.Seconds, rec.EventsPerSec/1e6, rec.AllocsPerEvent)
 	}
+	for pass := 1; pass <= *simN; pass++ {
+		rec, err := evalPass(ctx, pass)
+		if err != nil {
+			fatal(fmt.Errorf("eval: %w", err))
+		}
+		records = append(records, rec)
+		fmt.Printf("(eval pass %d: %.1f ms/eval, %.0f allocs/eval, %.2fM events/s)\n",
+			pass, rec.EvalMS, rec.AllocsPerEval, rec.EventsPerSec/1e6)
+	}
 
 	if *serveN > 0 {
 		rec, err := servePass(ctx, plat, cache, cfg, *serveN)
@@ -277,6 +300,56 @@ func simPass(pass int) benchRecord {
 	rec := benchRecord{Experiment: "sim", Pass: pass, Seconds: elapsed, Platform: "kernel"}
 	meter.record(&rec, elapsed)
 	return rec
+}
+
+// evalEng is the engine shared by all eval passes, built on first use so
+// later passes measure the model layer with its scratch pools warm — the
+// steady state the figure drivers run in.
+var evalEng *core.Engine
+
+// evalPass measures one uncached eight-rep core.Evaluate of IOR_16M — the
+// paper's measurement protocol with the full model layer under it (workload
+// build, pooled procfs snapshot, lustre simulation, stats) and nothing above
+// it. Per-eval wall-clock (eval_ms) and whole-process allocations
+// (allocs_per_eval, from runtime.MemStats.Mallocs) gate the model layer's
+// allocation-free rewrite in CI the same way events_per_sec gates the
+// kernel. Pass 1 pays an unmeasured warm-up eval plus a GC so pool fills and
+// one-time runtime initialization are not charged to the measured rounds.
+func evalPass(ctx context.Context, pass int) (benchRecord, error) {
+	const evalReps, evalSeed, rounds = 8, 99, 5
+	if evalEng == nil {
+		evalEng = core.New(simllm.New(simllm.GPT4o), core.Options{
+			Spec: cluster.Default(), TuningModel: simllm.Claude37,
+			AnalysisModel: simllm.GPT4o, ExtractModel: simllm.GPT4o,
+			Scale: 0.25, Platform: platform.Simulator{},
+		})
+	}
+	cfg := params.DefaultConfig(evalEng.Registry())
+	eval := func() error {
+		_, err := evalEng.Evaluate(ctx, "IOR_16M", cfg, evalReps, evalSeed)
+		return err
+	}
+	if pass == 1 {
+		if err := eval(); err != nil {
+			return benchRecord{}, err
+		}
+		runtime.GC()
+	}
+	meter := newSimMeter()
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := eval(); err != nil {
+			return benchRecord{}, err
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := benchRecord{Experiment: "eval", Pass: pass, Seconds: elapsed, Platform: "sim"}
+	meter.record(&rec, elapsed)
+	rec.EvalMS = elapsed * 1000 / rounds
+	rec.AllocsPerEval = float64(ms.Mallocs-meter.allocs) / rounds
+	return rec, nil
 }
 
 // servePass measures tuning-as-a-service throughput: an in-process

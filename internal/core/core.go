@@ -72,6 +72,11 @@ type Engine struct {
 	tunable []*protocol.TunableParam
 
 	rules atomic.Pointer[rules.Set]
+
+	// trees recycles procfs parameter trees across runs: rendering a
+	// configuration over defaults is per-trial work, but the tree itself
+	// (a map sized to the whole registry) is reusable via SetDefaults.
+	trees sync.Pool
 }
 
 // New creates an engine. client is the LLM backend (simllm offline, or an
@@ -94,6 +99,7 @@ func New(client llm.Client, opts Options) *Engine {
 		e.plat = platform.Simulator{}
 	}
 	e.rules.Store(&rules.Set{})
+	e.trees.New = func() any { return procfs.New(e.reg) }
 	return e
 }
 
@@ -174,21 +180,34 @@ func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.C
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tree := procfs.New(e.reg)
-	full := params.DefaultConfig(e.reg)
-	for k, v := range cfg {
-		full[k] = v
-	}
-	if err := tree.Apply(full); err != nil {
+	snap, err := e.snapshotConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
 	res, err := e.plat.Run(ctx, platform.RunSpec{
-		Spec: e.opts.Spec, Workload: w, Config: tree.Snapshot(), Seed: seed, Trace: sink,
+		Spec: e.opts.Spec, Workload: w, Config: snap, Seed: seed, Trace: sink,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &RunOutcome{WallTime: res.WallTime, Clamped: res.Clamped, Result: res.Result}, nil
+}
+
+// snapshotConfig renders cfg over the registry defaults through a pooled
+// procfs tree and returns a private snapshot safe to share across reps.
+// The rendered state is exactly what a fresh tree plus a merged
+// defaults+cfg Apply produced before: every writable parameter present, cfg
+// values layered on top, unknown or read-only names rejected.
+func (e *Engine) snapshotConfig(cfg params.Config) (params.Config, error) {
+	tree := e.trees.Get().(*procfs.Tree)
+	tree.SetDefaults()
+	if err := tree.Apply(cfg); err != nil {
+		e.trees.Put(tree)
+		return nil, err
+	}
+	snap := tree.Snapshot()
+	e.trees.Put(tree)
+	return snap, nil
 }
 
 // Evaluate measures a configuration over reps repetitions with distinct
@@ -206,17 +225,35 @@ func (e *Engine) Evaluate(ctx context.Context, workloadName string, cfg params.C
 // clients the raw measurement series alongside the summary without a second
 // pass. The returned slice is owned by the caller.
 func (e *Engine) EvaluateSeries(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+	return e.EvaluateBatch(ctx, workloadName, cfg, reps, seedBase)
+}
+
+// EvaluateBatch is the batched form of EvaluateSeries: the workload is
+// built and the configuration rendered over defaults exactly once, and the
+// resulting immutable snapshot is shared by every repetition, so the
+// per-rep cost is one platform run and nothing else. Each rep's seed stays
+// the same pure function of its index as in per-rep Evaluate — seedBase +
+// i*101 — so wall times, summaries, and run-cache keys are bit-identical to
+// evaluating each repetition individually. /v1/evaluate, /v1/sweeps, and
+// /v1/tune all reach the simulator through here.
+func (e *Engine) EvaluateBatch(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
 	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
+	if err != nil {
+		return nil, stats.Summary{}, err
+	}
+	snap, err := e.snapshotConfig(cfg)
 	if err != nil {
 		return nil, stats.Summary{}, err
 	}
 	walls := make([]float64, reps)
 	err = pool.Map(ctx, e.opts.Parallel, reps, func(ctx context.Context, i int) error {
-		out, err := e.execute(ctx, w, cfg, seedBase+int64(i)*101, nil)
+		res, err := e.plat.Run(ctx, platform.RunSpec{
+			Spec: e.opts.Spec, Workload: w, Config: snap, Seed: seedBase + int64(i)*101,
+		})
 		if err != nil {
 			return err
 		}
-		walls[i] = out.WallTime
+		walls[i] = res.WallTime
 		return nil
 	})
 	if err != nil {

@@ -1,6 +1,10 @@
 package lustre
 
-import "stellar/internal/workload"
+import (
+	"math/bits"
+
+	"stellar/internal/workload"
+)
 
 // chunk is a stripe-aligned piece of an application data request.
 type chunk struct {
@@ -9,22 +13,32 @@ type chunk struct {
 	size int64
 }
 
-// stripeChunks splits the byte range [off, off+size) of file f at stripe
-// boundaries and assigns each piece its OST.
-func (r *runner) stripeChunks(f *fileState, off, size int64) []chunk {
-	var out []chunk
-	for size > 0 {
-		stripe := off / f.stripeSize
-		within := off % f.stripeSize
-		n := f.stripeSize - within
-		if n > size {
-			n = size
-		}
-		ost := (f.startOST + int(stripe)%f.stripeCount) % r.spec.OSTCount
-		out = append(out, chunk{ost: ost, off: off, size: n})
-		off += n
-		size -= n
+// chunkAt returns the stripe-aligned chunk starting at off, capped at rem
+// remaining bytes.
+func (r *runner) chunkAt(f *fileState, off, rem int64) chunk {
+	stripe := off / f.stripeSize
+	within := off % f.stripeSize
+	n := f.stripeSize - within
+	if n > rem {
+		n = rem
 	}
+	ost := (f.startOST + int(stripe)%f.stripeCount) % r.spec.OSTCount
+	return chunk{ost: ost, off: off, size: n}
+}
+
+// stripeChunks splits the byte range [off, off+size) of file f at stripe
+// boundaries and assigns each piece its OST. The returned slice is the
+// runner's scratch: valid until the next stripeChunks call, which is safe
+// because every caller issues all of a split's RPCs within one event.
+func (r *runner) stripeChunks(f *fileState, off, size int64) []chunk {
+	out := r.chunks[:0]
+	for size > 0 {
+		c := r.chunkAt(f, off, size)
+		out = append(out, c)
+		off += c.size
+		size -= c.size
+	}
+	r.chunks = out
 	return out
 }
 
@@ -58,40 +72,11 @@ func (r *runner) mediaTime(size int64, write bool) float64 {
 	return float64(size) / bw * r.jitter()
 }
 
-// sendRPC moves size bytes through the client NIC, the OST NIC, an OST
-// service thread (setup + seek), and the serialized media, then replies.
-// done fires when the reply arrives at the client.
-func (r *runner) sendRPC(node int, f *fileState, c chunk, write bool, done func()) {
-	rtt := r.spec.NetworkRTT
-	r.res.DataRPCs++
-	media := r.mediaTime(c.size, write)
-	r.eng.After(rtt/2, func() {
-		r.nodeNIC[node].Send(float64(c.size), func() {
-			r.ostNIC[c.ost].Send(float64(c.size), func() {
-				setup := r.setupService(f, c)
-				r.ostThreads[c.ost].Acquire(func() {
-					r.eng.After(setup, func() {
-						r.ostBW[c.ost].Send(media*r.ostBW[c.ost].Rate(), func() {
-							r.ostThreads[c.ost].Release()
-							r.eng.After(rtt/2, func() {
-								if r.eng.Now() > r.res.LastDataRPC {
-									r.res.LastDataRPC = r.eng.Now()
-								}
-								done()
-							})
-						})
-					})
-				})
-			})
-		})
-	})
-}
-
 // ----------------------------------------------------------------------
 // Write path: dirty page cache with asynchronous write-back.
 // ----------------------------------------------------------------------
 
-func (r *runner) doWrite(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doWrite(rank int, op workload.Op) {
 	node := r.node(rank)
 	f := r.files[op.File]
 	if !f.created {
@@ -109,140 +94,135 @@ func (r *runner) doWrite(rank int, op workload.Op, done func(bool, bool)) {
 	}
 	// A size-changing write invalidates cached attributes on OTHER nodes;
 	// the writer holds the lock and serves its own stats locally.
-	for n := 0; n < r.spec.ClientNodes; n++ {
-		if n != node {
-			r.metaCache[n].evict(op.File)
-		}
-	}
-	r.metaCache[node].insert(op.File)
-	seq := op.Offset == f.raState[rank].lastEnd
+	r.evictOthers(f, op.File, node)
+	r.metaInsert(node, op.File)
+	rs := &r.rankSt[rank]
+	rs.seq = op.Offset == f.raState[rank].lastEnd
 	f.raState[rank].lastEnd = op.Offset + op.Size
 
-	chunks := r.stripeChunks(f, op.Offset, op.Size)
 	r.res.BytesWritten += op.Size
-	memcpy := float64(op.Size) / memcpyBW
+	rs.wOff, rs.wRem = op.Offset, op.Size
 
 	// Admit chunks into the dirty cache one at a time, blocking when the
 	// OSC is over its dirty limit (write throttling).
-	var admit func(idx int)
-	admit = func(idx int) {
-		if idx >= len(chunks) {
-			r.eng.After(memcpy*r.jitter(), func() { done(false, seq) })
-			return
-		}
-		c := chunks[idx]
-		osc := r.osc[node][c.ost]
-		if osc.dirty < r.cfg.dirtyBytes {
-			osc.dirty += c.size
-			f.pendingFlush += c.size
-			r.stageChunk(node, op.File, c)
-			admit(idx + 1)
-			return
-		}
-		osc.dirtyWaiters = append(osc.dirtyWaiters, dirtyWaiter{
-			need:   c.size,
-			resume: func() { admit(idx) },
-		})
-	}
-	admit(0)
+	r.admitWrite(rank)
 }
 
-// stageChunk adds a write-back chunk to the OSC staging area, coalescing
-// with the newest unsent group when contiguous, and kicks the flusher.
+// evictOthers invalidates the file's cached attributes on every node except
+// the writer. The holders bitset narrows the broadcast to nodes that may
+// actually hold an entry; clusters wider than 64 nodes fall back to the
+// full sweep.
+func (r *runner) evictOthers(f *fileState, file int32, node int) {
+	if r.spec.ClientNodes <= 64 {
+		m := f.holders &^ (1 << uint(node))
+		for m != 0 {
+			n := bits.TrailingZeros64(m)
+			m &= m - 1
+			r.metaCache[n].evict(file)
+		}
+		f.holders &= 1 << uint(node)
+		return
+	}
+	for n := 0; n < r.spec.ClientNodes; n++ {
+		if n != node {
+			r.metaCache[n].evict(file)
+		}
+	}
+}
+
+// metaInsert adds the file to a node's attribute cache and records the node
+// as a (possible) holder.
+func (r *runner) metaInsert(node int, file int32) {
+	r.metaCache[node].insert(file)
+	if r.spec.ClientNodes <= 64 {
+		r.files[file].holders |= 1 << uint(node)
+	}
+}
+
+// admitWrite is the write admission loop: stage stripe chunks of the
+// in-flight write until the OSC dirty limit blocks, then park the rank on
+// the OSC's waiter queue. It resumes here — re-deriving the same chunk from
+// the (wOff, wRem) cursor — when write-back frees dirty budget.
+func (r *runner) admitWrite(rank int) {
+	rs := &r.rankSt[rank]
+	op := r.w.Ranks[rank][rs.i]
+	node := r.node(rank)
+	f := r.files[op.File]
+	for rs.wRem > 0 {
+		c := r.chunkAt(f, rs.wOff, rs.wRem)
+		osc := r.osc[node][c.ost]
+		if osc.dirty >= r.cfg.dirtyBytes {
+			osc.dirtyWaiters.push(int32(rank))
+			return
+		}
+		osc.dirty += c.size
+		f.pendingFlush += c.size
+		r.stageChunk(node, op.File, c)
+		rs.wOff += c.size
+		rs.wRem -= c.size
+	}
+	memcpy := float64(op.Size) / memcpyBW
+	r.finishOp(rank, memcpy*r.jitter(), false, rs.seq)
+}
+
+// stageChunk adds a write-back chunk to the OSC staging ring, coalescing
+// with the newest group when contiguous, and queues the group's admission
+// into the RPC window. A staged group keeps growing until its window grant
+// fires (rpcStep's rsAdmitWrite pops it).
 func (r *runner) stageChunk(node int, file int32, c chunk) {
 	osc := r.osc[node][c.ost]
-	if n := len(osc.groups); n > 0 {
-		g := osc.groups[n-1]
-		if !g.sent && g.file == file && g.ost == c.ost &&
-			g.off+g.size == c.off && g.size+c.size <= r.cfg.rpcBytes {
-			g.size += c.size
-			return
-		}
+	if g := osc.groups.tail(); g != nil && g.file == file && g.ost == c.ost &&
+		g.off+g.size == c.off && g.size+c.size <= r.cfg.rpcBytes {
+		g.size += c.size
+		return
 	}
-	g := &rpcGroup{file: file, ost: c.ost, off: c.off, size: c.size}
-	osc.groups = append(osc.groups, g)
-	r.flushGroup(node, osc, g)
-}
-
-// flushGroup pushes one staged group through the OSC RPC window. The group
-// may continue to grow until the window admits it.
-func (r *runner) flushGroup(node int, osc *oscState, g *rpcGroup) {
-	osc.window.Enter(func() {
-		g.sent = true
-		// Remove from staging.
-		for i, og := range osc.groups {
-			if og == g {
-				osc.groups = append(osc.groups[:i], osc.groups[i+1:]...)
-				break
-			}
-		}
-		f := r.files[g.file]
-		r.sendRPC(node, f, chunk{ost: g.ost, off: g.off, size: g.size}, true, func() {
-			osc.window.Leave()
-			osc.dirty -= g.size
-			r.wakeDirtyWaiters(osc)
-			f.pendingFlush -= g.size
-			if f.pendingFlush == 0 {
-				ws := f.flushWaiters
-				f.flushWaiters = nil
-				for _, w := range ws {
-					w := w
-					r.eng.After(0, w)
-				}
-				if f.pendingClose == 0 {
-					r.wakeQuiesced(f)
-				}
-			}
-		})
-	})
+	osc.groups.push(rpcGroup{file: file, ost: c.ost, off: c.off, size: c.size})
+	i := r.sc.newRPC()
+	o := &r.sc.rpcs[i]
+	o.state, o.kind, o.write = rsAdmitWrite, rcWrite, true
+	o.node, o.ost = int32(node), int32(c.ost)
+	osc.window.Enter(o.cont)
 }
 
 func (r *runner) wakeDirtyWaiters(osc *oscState) {
-	for len(osc.dirtyWaiters) > 0 && osc.dirty < r.cfg.dirtyBytes {
-		w := osc.dirtyWaiters[0]
-		osc.dirtyWaiters = osc.dirtyWaiters[1:]
-		r.eng.After(0, w.resume)
+	for osc.dirtyWaiters.len() > 0 && osc.dirty < r.cfg.dirtyBytes {
+		rank := osc.dirtyWaiters.pop()
+		r.eng.After(0, r.sc.ranks[rank].admit)
 	}
 }
 
-// waitFlushed runs fn once every write-back byte of f has reached disk.
-func (r *runner) waitFlushed(f *fileState, fn func()) {
-	if f.pendingFlush == 0 {
-		fn()
-		return
+// wakeFlushWaiters releases every rank parked in fsync on f, reusing the
+// waiter slice's backing array.
+func (r *runner) wakeFlushWaiters(f *fileState) {
+	ws := f.flushWaiters
+	f.flushWaiters = ws[:0]
+	for _, rk := range ws {
+		r.eng.After(0, r.sc.ranks[rk].done)
 	}
-	f.flushWaiters = append(f.flushWaiters, fn)
-}
-
-// waitQuiesced runs fn once f has no write-back bytes or close RPCs in
-// flight (required before an unlink can be sent).
-func (r *runner) waitQuiesced(f *fileState, fn func()) {
-	if f.pendingFlush == 0 && f.pendingClose == 0 {
-		fn()
-		return
-	}
-	f.quietWaiters = append(f.quietWaiters, fn)
 }
 
 func (r *runner) wakeQuiesced(f *fileState) {
 	ws := f.quietWaiters
-	f.quietWaiters = nil
-	for _, w := range ws {
-		w := w
-		r.eng.After(0, w)
+	f.quietWaiters = ws[:0]
+	for _, rk := range ws {
+		r.eng.After(0, r.sc.ranks[rk].done)
 	}
 }
 
-func (r *runner) doFsync(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doFsync(rank int, op workload.Op) {
 	f := r.files[op.File]
-	r.waitFlushed(f, func() { done(false, false) })
+	if f.pendingFlush == 0 {
+		r.opDone(rank)
+		return
+	}
+	f.flushWaiters = append(f.flushWaiters, int32(rank))
 }
 
 // ----------------------------------------------------------------------
 // Read path: page cache, readahead, synchronous fetch.
 // ----------------------------------------------------------------------
 
-func (r *runner) doRead(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doRead(rank int, op workload.Op) {
 	node := r.node(rank)
 	f := r.files[op.File]
 	if !f.created {
@@ -265,52 +245,45 @@ func (r *runner) doRead(rank int, op workload.Op, done func(bool, bool)) {
 	end := op.Offset + op.Size
 	memcpy := float64(op.Size) / memcpyBW
 
-	finish := func(hit bool) {
-		r.maybeReadahead(rank, node, op.File, f, end)
-		r.eng.After(memcpy*r.jitter(), func() { done(hit, seq) })
-	}
-
 	// Client page cache: valid when this node wrote the file contiguously
 	// from offset zero past the requested range. No readahead activity is
 	// triggered for cache-resident data.
 	if end <= f.contigTo[node] && r.pageCache[node].contains(op.File) {
 		r.pageCache[node].touch(op.File, 0)
 		r.res.CacheHits++
-		r.eng.After(memcpy*r.jitter(), func() { done(true, seq) })
+		r.finishOp(rank, memcpy*r.jitter(), true, seq)
 		return
 	}
 	// Served entirely by completed readahead?
 	if seq && end <= ra.doneTo {
 		r.res.RAHits++
-		finish(true)
+		r.maybeReadahead(rank, node, op.File, f, end)
+		r.finishOp(rank, memcpy*r.jitter(), true, seq)
 		return
 	}
-	// Covered by in-flight readahead: wait for it.
+	// Covered by in-flight readahead: park the read until it lands.
 	if seq && end <= ra.issuedTo {
-		ra.waiters = append(ra.waiters, raWaiter{need: end, resume: func() {
-			r.res.RAHits++
-			finish(true)
-		}})
+		q := r.sc.newReq()
+		req := &r.sc.reqs[q]
+		req.rank, req.node, req.file = int32(rank), int32(node), op.File
+		req.end, req.memcpy, req.seq = end, memcpy, seq
+		ra.waiters = append(ra.waiters, raWaiter{need: end, req: q})
 		return
 	}
 	// Synchronous fetch of the uncovered chunks.
+	q := r.sc.newReq()
+	req := &r.sc.reqs[q]
+	req.rank, req.node, req.file = int32(rank), int32(node), op.File
+	req.end, req.memcpy, req.seq = end, memcpy, seq
 	chunks := r.stripeChunks(f, op.Offset, op.Size)
-	remaining := len(chunks)
+	req.remaining = int32(len(chunks))
 	for _, c := range chunks {
-		c := c
-		osc := r.osc[node][c.ost]
-		osc.window.Enter(func() {
-			r.sendRPC(node, f, c, false, func() {
-				osc.window.Leave()
-				remaining--
-				if remaining == 0 {
-					if seq && end > ra.doneTo && ra.issuedTo <= end {
-						ra.doneTo, ra.issuedTo = end, end
-					}
-					finish(false)
-				}
-			})
-		})
+		i := r.sc.newRPC()
+		o := &r.sc.rpcs[i]
+		o.state, o.kind = rsAdmitRead, rcRead
+		o.node, o.ost, o.file = int32(node), int32(c.ost), op.File
+		o.off, o.size, o.req = c.off, c.size, q
+		r.osc[node][c.ost].window.Enter(o.cont)
 	}
 }
 
@@ -333,15 +306,13 @@ func (r *runner) maybeReadahead(rank, node int, file int32, f *fileState, pos in
 			if r.raBudget[node]+waste <= r.cfg.raBytes {
 				r.raBudget[node] += waste
 				r.res.RAWasted += waste
-				c := chunk{ost: (f.startOST + r.rng.Intn(f.stripeCount)) % r.spec.OSTCount,
-					off: pos, size: waste}
-				osc := r.osc[node][c.ost]
-				osc.window.Enter(func() {
-					r.sendRPC(node, f, c, false, func() {
-						osc.window.Leave()
-						r.raBudget[node] -= waste
-					})
-				})
+				ost := (f.startOST + r.rng.Intn(f.stripeCount)) % r.spec.OSTCount
+				i := r.sc.newRPC()
+				o := &r.sc.rpcs[i]
+				o.state, o.kind = rsAdmitRead, rcRAProbe
+				o.node, o.ost, o.file = int32(node), int32(ost), file
+				o.off, o.size = pos, waste
+				r.osc[node][ost].window.Enter(o.cont)
 			}
 		}
 		return
@@ -375,30 +346,26 @@ func (r *runner) maybeReadahead(rank, node int, file int32, f *fileState, pos in
 		ra.issuedTo += n
 		r.raBudget[node] += n
 		for _, c := range r.stripeChunks(f, start, n) {
-			c := c
-			osc := r.osc[node][c.ost]
-			osc.window.Enter(func() {
-				r.sendRPC(node, f, c, false, func() {
-					osc.window.Leave()
-					r.raBudget[node] -= c.size
-					if c.off+c.size > ra.doneTo {
-						ra.doneTo = c.off + c.size
-					}
-					r.wakeRAWaiters(ra)
-				})
-			})
+			i := r.sc.newRPC()
+			o := &r.sc.rpcs[i]
+			o.state, o.kind = rsAdmitRead, rcRA
+			o.node, o.ost, o.file, o.rank = int32(node), int32(c.ost), file, int32(rank)
+			o.off, o.size = c.off, c.size
+			r.osc[node][c.ost].window.Enter(o.cont)
 		}
 	}
 }
 
+// wakeRAWaiters releases every parked read whose range completed, compacting
+// the waiter slice in place over its existing backing array.
 func (r *runner) wakeRAWaiters(ra *raState) {
-	var still []raWaiter
+	keep := ra.waiters[:0]
 	for _, w := range ra.waiters {
 		if w.need <= ra.doneTo {
-			r.eng.After(0, w.resume)
+			r.eng.After(0, r.sc.reqs[w.req].cont)
 		} else {
-			still = append(still, w)
+			keep = append(keep, w)
 		}
 	}
-	ra.waiters = still
+	ra.waiters = keep
 }

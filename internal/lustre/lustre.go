@@ -152,8 +152,14 @@ func Run(ctx context.Context, w *workload.Workload, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	r := newRunner(w, opts, cv)
+	// The scratch (engine, op arenas, per-slot continuations) is pooled
+	// across runs; only the runner's per-run state is rebuilt, so repeated
+	// evaluations reach an allocation-free steady state on the op paths.
+	sc := acquireScratch(w.NumRanks())
+	defer sc.release()
+	r := newRunner(w, opts, cv, sc)
 	res, err := r.run(ctx)
+	sc.chunks = r.chunks // keep the grown stripeChunks scratch for reuse
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ type metaCache struct {
 	cap      int
 	lru      *list.List // front = most recent; values are int32 file ids
 	entries  map[int32]*list.Element
-	inflight map[int32][]func() // statahead fetches in progress; waiters
+	inflight map[int32][]int32 // statahead fetches in progress; waiting ranks
 }
 
 func newMetaCache(capacity int) *metaCache {
@@ -25,7 +25,7 @@ func newMetaCache(capacity int) *metaCache {
 		cap:      capacity,
 		lru:      list.New(),
 		entries:  make(map[int32]*list.Element),
-		inflight: make(map[int32][]func()),
+		inflight: make(map[int32][]int32),
 	}
 }
 
@@ -129,35 +129,24 @@ func (r *runner) assignLayout(f *fileState, id int32) {
 	f.startOST = int(h % uint64(r.spec.OSTCount))
 }
 
-// metaRPC performs one metadata RPC through the given window gate with the
-// given MDS service time and optional directory-lock serial section.
-func (r *runner) metaRPC(node int, gate int, dir int32, serial, service float64, done func()) {
+// metaRPC issues one metadata RPC through the given window gate with the
+// given MDS service time, optional directory-lock serial section, and
+// completion kind. The RPC advances through metaStep's stages in an arena
+// slot; kind, file, and rank tell completeMeta what to do when the reply
+// arrives.
+func (r *runner) metaRPC(node int, gate int, dir int32, serial, service float64, kind uint8, file int32, rank int) {
 	g := r.mdc[node]
 	if gate == gateMod {
 		g = r.mdcMod[node]
 	}
-	rtt := r.spec.NetworkRTT
 	r.res.MetaRPCs++
-	g.Enter(func() {
-		r.eng.After(rtt/2, func() {
-			proceed := func() {
-				r.mds.Use(service*r.jitter(), func() {
-					r.eng.After(rtt/2, func() {
-						g.Leave()
-						if r.eng.Now() > r.res.LastMetaRPC {
-							r.res.LastMetaRPC = r.eng.Now()
-						}
-						done()
-					})
-				})
-			}
-			if serial > 0 && dir >= 0 {
-				r.dirLock[dir].Use(serial*r.jitter(), proceed)
-			} else {
-				proceed()
-			}
-		})
-	})
+	i := r.sc.newMeta()
+	m := &r.sc.metas[i]
+	m.state, m.kind = msEnter, kind
+	m.mod = gate == gateMod
+	m.node, m.dir, m.file, m.rank = int32(node), dir, file, int32(rank)
+	m.serial, m.service = serial, service
+	g.Enter(m.cont)
 }
 
 const (
@@ -165,7 +154,7 @@ const (
 	gateMod
 )
 
-func (r *runner) doCreate(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doCreate(rank int, op workload.Op) {
 	node := r.node(rank)
 	f := r.files[op.File]
 	r.assignLayout(f, op.File)
@@ -180,53 +169,41 @@ func (r *runner) doCreate(rank int, op workload.Op, done func(bool, bool)) {
 	}
 	svc := r.spec.MDSCreateTime + r.spec.MDSPerStripeCost*float64(f.stripeCount-1)
 	serial := svc * r.spec.DirLockSerial
-	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, func() {
-		r.metaCache[node].insert(op.File)
-		done(false, false)
-	})
+	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, mcInsert, op.File, rank)
 }
 
-func (r *runner) doOpen(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doOpen(rank int, op workload.Op) {
 	node := r.node(rank)
 	mc := r.metaCache[node]
 	if mc.contains(op.File) {
 		r.res.StatHits++
-		r.eng.After(localHitTime*r.jitter(), func() { done(true, false) })
+		r.finishOp(rank, localHitTime*r.jitter(), true, false)
 		return
 	}
 	if ws, ok := mc.inflight[op.File]; ok {
-		mc.inflight[op.File] = append(ws, func() {
-			r.res.StatHits++
-			done(true, false)
-		})
+		// Parked on the in-flight statahead fetch; the wake counts the hit.
+		r.rankSt[rank].hit = true
+		mc.inflight[op.File] = append(ws, int32(rank))
 		return
 	}
-	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSOpenTime, func() {
-		mc.insert(op.File)
-		done(false, false)
-	})
+	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSOpenTime, mcInsert, op.File, rank)
 }
 
-func (r *runner) doStat(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doStat(rank int, op workload.Op) {
 	node := r.node(rank)
 	mc := r.metaCache[node]
 	r.triggerStatahead(rank, node, op)
 	if mc.contains(op.File) {
 		r.res.StatHits++
-		r.eng.After(localHitTime*r.jitter(), func() { done(true, false) })
+		r.finishOp(rank, localHitTime*r.jitter(), true, false)
 		return
 	}
 	if ws, ok := mc.inflight[op.File]; ok {
-		mc.inflight[op.File] = append(ws, func() {
-			r.res.StatHits++
-			done(true, false)
-		})
+		r.rankSt[rank].hit = true
+		mc.inflight[op.File] = append(ws, int32(rank))
 		return
 	}
-	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, func() {
-		mc.insert(op.File)
-		done(false, false)
-	})
+	r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, mcInsert, op.File, rank)
 }
 
 // statStreak tracks consecutive in-order directory-entry stats per rank.
@@ -274,67 +251,43 @@ func (r *runner) triggerStatahead(rank, node int, op workload.Op) {
 		}
 		mc.inflight[fid] = nil
 		inflight++
-		r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, func() {
-			mc.insert(fid)
-			ws := mc.inflight[fid]
-			delete(mc.inflight, fid)
-			for _, w := range ws {
-				w := w
-				r.eng.After(localHitTime, w)
-			}
-		})
+		r.metaRPC(node, gateStat, -1, 0, r.spec.MDSStatTime, mcStatahead, fid, -1)
 	}
 }
 
-func (r *runner) doClose(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doClose(rank int, op workload.Op) {
 	node := r.node(rank)
 	f := r.files[op.File]
 	// Lustre sends MDS_CLOSE asynchronously: the application continues
 	// immediately while the close RPC occupies the modifying-RPC window.
 	f.pendingClose++
-	r.metaRPC(node, gateMod, -1, 0, r.spec.MDSCloseTime, func() {
-		f.pendingClose--
-		if f.pendingClose == 0 && f.pendingFlush == 0 {
-			r.wakeQuiesced(f)
-		}
-	})
-	r.eng.After(localHitTime*r.jitter(), func() { done(false, false) })
+	r.metaRPC(node, gateMod, -1, 0, r.spec.MDSCloseTime, mcClose, op.File, -1)
+	r.finishOp(rank, localHitTime*r.jitter(), false, false)
 }
 
-func (r *runner) doUnlink(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doUnlink(rank int, op workload.Op) {
 	// Lustre permits unlinking files with outstanding opens or dirty data;
 	// object destruction happens server-side at last close.
 	node := r.node(rank)
 	f := r.files[op.File]
 	svc := r.spec.MDSUnlinkTime + r.spec.MDSPerStripeCost*float64(max(f.stripeCount-1, 0))
 	serial := svc * r.spec.DirLockSerial
-	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, func() {
-		for n := 0; n < r.spec.ClientNodes; n++ {
-			r.metaCache[n].evict(op.File)
-			r.pageCache[n].drop(op.File)
-		}
-		f.created = false
-		done(false, false)
-	})
+	r.metaRPC(node, gateMod, op.Dir, serial, svc-serial, mcUnlink, op.File, rank)
 }
 
-func (r *runner) doMkdir(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doMkdir(rank int, op workload.Op) {
 	node := r.node(rank)
-	r.metaRPC(node, gateMod, op.Dir, 0, r.spec.MDSCreateTime, func() {
-		done(false, false)
-	})
+	r.metaRPC(node, gateMod, op.Dir, 0, r.spec.MDSCreateTime, mcDone, -1, rank)
 }
 
-func (r *runner) doReaddir(rank int, op workload.Op, done func(bool, bool)) {
+func (r *runner) doReaddir(rank int, op workload.Op) {
 	node := r.node(rank)
 	entries := len(r.dirFiles[op.Dir])
 	svc := r.spec.MDSReaddirTime * float64(entries)
 	if svc <= 0 {
 		svc = r.spec.MDSReaddirTime
 	}
-	r.metaRPC(node, gateStat, -1, 0, svc, func() {
-		done(false, false)
-	})
+	r.metaRPC(node, gateStat, -1, 0, svc, mcDone, -1, rank)
 }
 
 func max(a, b int) int {

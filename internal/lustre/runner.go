@@ -23,6 +23,7 @@ const noiseAmp = 0.04
 
 type runner struct {
 	eng  *sim.Engine
+	sc   *scratch
 	spec cluster.Spec
 	cfg  cfgValues
 	w    *workload.Workload
@@ -46,12 +47,29 @@ type runner struct {
 	files    []*fileState
 	dirFiles [][]int32 // directory -> files in entry order
 
-	barrierWaitQ []func()
+	// rankSt tracks each rank's position in its op program plus the
+	// in-flight op's bookkeeping. Ranks execute ops strictly sequentially,
+	// so one slot per rank suffices.
+	rankSt []rankState
+
+	barrierWaitQ []int32 // ranks parked at the current barrier
 	barrierCount int
 
 	statStreaks []statStreak // per rank
 
+	chunks []chunk // stripeChunks scratch, recycled through the pool
+
 	res Result
+}
+
+// rankState is one rank's program counter and current-op scratch.
+type rankState struct {
+	i     int     // index of the op in flight (-1 before the first)
+	start float64 // op start time for the trace event
+	hit   bool    // CacheHit flag for the trace event
+	seq   bool    // Sequential flag for the trace event
+	wOff  int64   // write admission cursor: next byte to admit
+	wRem  int64   // write admission cursor: bytes left to admit
 }
 
 type fileState struct {
@@ -61,10 +79,18 @@ type fileState struct {
 	created     bool
 	size        int64 // high-water mark of written bytes
 
-	pendingFlush int64    // bytes queued for write-back, not yet on disk
-	pendingClose int      // asynchronous close RPCs in flight
-	flushWaiters []func() // fsync waiting for pendingFlush == 0
-	quietWaiters []func() // unlink waiting for flush and close completion
+	pendingFlush int64   // bytes queued for write-back, not yet on disk
+	pendingClose int     // asynchronous close RPCs in flight
+	flushWaiters []int32 // ranks in fsync waiting for pendingFlush == 0
+	quietWaiters []int32 // ranks waiting for flush and close completion
+
+	// holders is a superset bitset of the nodes whose metaCache may hold
+	// this file's attributes (valid while ClientNodes <= 64). LRU eviction
+	// never clears bits, so a set bit can be stale — evicting a non-holder
+	// is a no-op — but a real holder is never skipped, which keeps the
+	// write-invalidation broadcast behavior-identical while making the
+	// common single-writer case O(1) instead of O(nodes).
+	holders uint64
 
 	lastOff  []int64 // per OST object: last accessed offset (seek model)
 	contigTo []int64 // per node: contiguous-from-zero written bytes (page cache)
@@ -79,44 +105,46 @@ type raState struct {
 	waiters  []raWaiter
 }
 
+// raWaiter parks a read request until readahead reaches need.
 type raWaiter struct {
-	need   int64
-	resume func()
+	need int64
+	req  int32 // readReq arena slot
 }
 
 // oscState models one object storage client (per client node, per OST).
+// Staged write-back groups live by value in a FIFO ring: the OSC window
+// grants admissions in Enter order, which is staging order, so the granted
+// group is always the ring head — removal is an O(1) pop instead of the
+// seed's linear identity scan, and no *rpcGroup pointers escape.
 type oscState struct {
 	window       *sim.Gate
 	dirty        int64
-	groups       []*rpcGroup // write-back staging, oldest first
-	dirtyWaiters []dirtyWaiter
+	groups       fifo[rpcGroup]
+	dirtyWaiters fifo[int32] // ranks blocked in write admission
 }
 
-type dirtyWaiter struct {
-	need   int64
-	resume func()
-}
-
-// rpcGroup is a coalesced write-back RPC being staged or in flight.
+// rpcGroup is a coalesced write-back RPC being staged.
 type rpcGroup struct {
 	file int32
 	ost  int
 	off  int64
 	size int64
-	sent bool
 }
 
-func newRunner(w *workload.Workload, opts Options, cv cfgValues) *runner {
-	eng := sim.NewEngine()
+func newRunner(w *workload.Workload, opts Options, cv cfgValues, sc *scratch) *runner {
+	eng := sc.eng
 	spec := opts.Spec
 	r := &runner{
 		eng:  eng,
+		sc:   sc,
 		spec: spec,
 		cfg:  cv,
 		w:    w,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		sink: opts.Trace,
 	}
+	sc.r = r
+	r.chunks = sc.chunks
 	nodes := spec.ClientNodes
 	r.nodeNIC = make([]*sim.Pipe, nodes)
 	r.mdc = make([]*sim.Gate, nodes)
@@ -160,6 +188,10 @@ func newRunner(w *workload.Workload, opts Options, cv cfgValues) *runner {
 			r.files[i].lastOff[o] = -1
 		}
 	}
+	r.rankSt = make([]rankState, w.NumRanks())
+	for i := range r.rankSt {
+		r.rankSt[i].i = -1
+	}
 	r.statStreaks = make([]statStreak, w.NumRanks())
 	for i := range r.statStreaks {
 		r.statStreaks[i] = statStreak{dir: -1, last: -2}
@@ -180,8 +212,9 @@ func (r *runner) jitter() float64 {
 
 func (r *runner) run(ctx context.Context) (*Result, error) {
 	for rank := range r.w.Ranks {
-		rank := rank
-		r.eng.At(0, func() { r.step(rank, 0) })
+		// rankSt[rank].i starts at -1, so the next continuation advances it
+		// to op 0 — the same first step the seed scheduled directly.
+		r.eng.At(0, r.sc.ranks[rank].next)
 	}
 	wall, err := r.eng.RunContext(ctx, sim.DefaultCheckEvery)
 	if err != nil {
@@ -191,64 +224,89 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 	return &r.res, nil
 }
 
-// step executes op index i of rank and schedules the next one on completion.
-func (r *runner) step(rank, i int) {
+// step executes the op rankSt[rank].i currently points at.
+func (r *runner) step(rank int) {
 	ops := r.w.Ranks[rank]
-	if i >= len(ops) {
+	rs := &r.rankSt[rank]
+	if rs.i >= len(ops) {
 		return
 	}
-	op := ops[i]
-	start := r.eng.Now()
-	done := func(hit, seq bool) {
-		if r.sink != nil {
-			r.sink.Record(Event{
-				Rank: rank, Op: op.Type, File: op.File, Offset: op.Offset,
-				Size: op.Size, Start: start, End: r.eng.Now(),
-				CacheHit: hit, Sequential: seq,
-			})
-		}
-		think := r.w.ComputePerOp
-		r.eng.After(think, func() { r.step(rank, i+1) })
-	}
+	op := ops[rs.i]
+	rs.start = r.eng.Now()
+	rs.hit, rs.seq = false, false
 	switch op.Type {
 	case workload.OpWrite:
-		r.doWrite(rank, op, done)
+		r.doWrite(rank, op)
 	case workload.OpRead:
-		r.doRead(rank, op, done)
+		r.doRead(rank, op)
 	case workload.OpCreate:
-		r.doCreate(rank, op, done)
+		r.doCreate(rank, op)
 	case workload.OpOpen:
-		r.doOpen(rank, op, done)
+		r.doOpen(rank, op)
 	case workload.OpClose:
-		r.doClose(rank, op, done)
+		r.doClose(rank, op)
 	case workload.OpStat:
-		r.doStat(rank, op, done)
+		r.doStat(rank, op)
 	case workload.OpUnlink:
-		r.doUnlink(rank, op, done)
+		r.doUnlink(rank, op)
 	case workload.OpMkdir:
-		r.doMkdir(rank, op, done)
+		r.doMkdir(rank, op)
 	case workload.OpReaddir:
-		r.doReaddir(rank, op, done)
+		r.doReaddir(rank, op)
 	case workload.OpFsync:
-		r.doFsync(rank, op, done)
+		r.doFsync(rank, op)
 	case workload.OpBarrier:
-		r.doBarrier(rank, done)
+		r.doBarrier(rank)
 	default:
-		done(false, false)
+		r.opDone(rank)
 	}
 }
 
-func (r *runner) doBarrier(rank int, done func(bool, bool)) {
+// opDone completes the rank's in-flight op: emit its trace event and
+// schedule the next op after the think time. This is the seed's per-op
+// `done` closure, shared across all ops of a rank.
+func (r *runner) opDone(rank int) {
+	rs := &r.rankSt[rank]
+	if r.sink != nil {
+		op := r.w.Ranks[rank][rs.i]
+		r.sink.Record(Event{
+			Rank: rank, Op: op.Type, File: op.File, Offset: op.Offset,
+			Size: op.Size, Start: rs.start, End: r.eng.Now(),
+			CacheHit: rs.hit, Sequential: rs.seq,
+		})
+	}
+	r.eng.After(r.w.ComputePerOp, r.sc.ranks[rank].next)
+}
+
+// nextOp advances the rank's program counter and runs the next op.
+func (r *runner) nextOp(rank int) {
+	r.rankSt[rank].i++
+	r.step(rank)
+}
+
+// finishOp stamps the op's outcome flags and schedules its completion.
+func (r *runner) finishOp(rank int, delay float64, hit, seq bool) {
+	rs := &r.rankSt[rank]
+	rs.hit, rs.seq = hit, seq
+	r.eng.After(delay, r.sc.ranks[rank].done)
+}
+
+// statWake completes an op that was parked on a statahead fetch.
+func (r *runner) statWake(rank int) {
+	r.res.StatHits++
+	r.opDone(rank)
+}
+
+func (r *runner) doBarrier(rank int) {
 	r.barrierCount++
-	r.barrierWaitQ = append(r.barrierWaitQ, func() { done(false, false) })
+	r.barrierWaitQ = append(r.barrierWaitQ, int32(rank))
 	if r.barrierCount == r.w.NumRanks() {
 		r.res.BarrierTimes = append(r.res.BarrierTimes, r.eng.Now())
 		q := r.barrierWaitQ
-		r.barrierWaitQ = nil
+		r.barrierWaitQ = q[:0]
 		r.barrierCount = 0
-		for _, f := range q {
-			f := f
-			r.eng.After(0, f)
+		for _, rk := range q {
+			r.eng.After(0, r.sc.ranks[rk].done)
 		}
 	}
 }

@@ -96,11 +96,16 @@ type Recorder struct {
 func (r *Recorder) Name() string { return "record(" + r.Inner.Name() + ")" }
 
 // teeSink forwards events to the live sink (if any) while keeping a copy
-// for the recording.
+// for the recording. Sinks — and, more importantly, their grown event
+// buffers — are recycled through teePool: a traced IOR run records tens of
+// thousands of events, and re-growing that buffer per trial dominated the
+// recording path's allocations.
 type teeSink struct {
 	next   lustre.TraceSink
 	events []lustre.Event
 }
+
+var teePool = sync.Pool{New: func() any { return &teeSink{} }}
 
 func (t *teeSink) Record(ev lustre.Event) {
 	t.events = append(t.events, ev)
@@ -109,24 +114,42 @@ func (t *teeSink) Record(ev lustre.Event) {
 	}
 }
 
+// recycle returns the sink to the pool once its events have been persisted
+// (or abandoned), keeping the buffer capacity for the next traced run.
+func (t *teeSink) recycle() {
+	t.next = nil
+	t.events = t.events[:0]
+	teePool.Put(t)
+}
+
 // Run implements Platform: execute on the inner backend, then persist.
 func (r *Recorder) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	key := spec.Key()
 	var tee *teeSink
 	if spec.Trace != nil {
-		tee = &teeSink{next: spec.Trace}
+		tee = teePool.Get().(*teeSink)
+		tee.next = spec.Trace
 		spec.Trace = tee
 	}
 	res, err := r.Inner.Run(ctx, spec)
 	if err != nil {
+		if tee != nil {
+			tee.recycle()
+		}
 		return nil, err
 	}
 	rec := Recording{Key: key, Workload: spec.Workload.Name, Seed: spec.Seed, Result: *res}
 	if tee != nil {
 		rec.Events = tee.events
 	}
-	if err := r.write(&rec); err != nil {
-		return nil, fmt.Errorf("platform: recording %s: %w", key[:12], err)
+	werr := r.write(&rec)
+	if tee != nil {
+		// write has marshaled (and persisted) the events; the buffer is
+		// free to serve the next traced run.
+		tee.recycle()
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("platform: recording %s: %w", key[:12], werr)
 	}
 	return res, nil
 }

@@ -94,3 +94,14 @@ func (t *Tree) Snapshot() params.Config { return t.values.Clone() }
 
 // ResetDefaults restores all defaults (the between-runs hygiene protocol).
 func (t *Tree) ResetDefaults() { t.values = params.DefaultConfig(t.reg) }
+
+// SetDefaults restores all defaults in place, reusing the existing value
+// map. It leaves the tree in exactly the state New or ResetDefaults would —
+// writable parameters at their defaults, nothing else present (Write only
+// ever adds writable names) — without allocating, which is what lets a
+// pooled tree serve repeated evaluations.
+func (t *Tree) SetDefaults() {
+	for _, p := range t.reg.Writable() {
+		t.values[p.Name] = p.Default
+	}
+}

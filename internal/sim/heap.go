@@ -183,6 +183,16 @@ func (r *ring[T]) pop() T {
 // peek returns a pointer to the oldest element, which must exist.
 func (r *ring[T]) peek() *T { return &r.buf[r.head] }
 
+// reset empties the ring in place, zeroing the occupied slots so abandoned
+// entries don't pin their payloads, while keeping the buffer for reuse.
+func (r *ring[T]) reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
 func (r *ring[T]) grow() {
 	c := len(r.buf) * 2
 	if c < 16 {

@@ -123,6 +123,25 @@ func (e *Engine) afterDelay(d float64, ev event) {
 // Stop aborts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events — while keeping the heap, lane, arena, and free-list capacity, so a
+// pooled engine reaches an allocation-free steady state across runs. Pending
+// events of an aborted run are discarded; their arena slots are zeroed so
+// abandoned closures and resources are not pinned.
+func (e *Engine) Reset() {
+	for i := range e.arena {
+		e.arena[i] = event{}
+	}
+	e.arena = e.arena[:0]
+	e.free = e.free[:0]
+	e.heap = e.heap[:0]
+	e.lane.reset()
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+}
+
 // DefaultCheckEvery is the event-count granularity at which RunContext polls
 // the context. Large simulations fire millions of events; checking every
 // event would put an atomic load on the hot path, while this bound keeps the
