@@ -14,8 +14,16 @@
 // Example session:
 //
 //	curl -s localhost:8351/v1/evaluate -d '{"workload":"IOR_16M","reps":8,"seed":99}'
+//	curl -s localhost:8351/v1/evaluate -d '{"workload":"IOR_16M","reps":8,"seed":99,
+//	       "faults":{"seed":42,"severity":0.6}}'
+//	                                       # same body under injected OST/MDS faults;
+//	                                       # deterministic, cached under its own key
 //	curl -s localhost:8351/v1/sweeps -d '{"workload":"IOR_16M","reps":2,
 //	       "grid":{"osc.max_pages_per_rpc":[256,512,1024]}}'
+//	curl -s localhost:8351/v1/tune -d '{"workload":"IOR_16M","candidates":8,
+//	       "objective":{"kind":"robust"},"faults":{"seed":42,"severity":0.6}}'
+//	                                       # robustness search: candidates scored
+//	                                       # across clean + faulted cluster variants
 //	curl -s -X POST localhost:8351/v1/figures/fig8
 //	curl -s localhost:8351/v1/jobs/job-2
 //	curl -s localhost:8351/v1/stats

@@ -13,6 +13,14 @@
 //	                                                   # adaptive successive-halving search
 //	                                                   # instead of the agentic tuning loop
 //	stellar -workload IOR_16M -tune -objective composite   # scalarize mean+tail+CI
+//	stellar -workload IOR_16M -faults "seed=42,severity=0.6"
+//	                                                   # inject a seeded fault schedule
+//	                                                   # (OST dropouts, degraded stripes,
+//	                                                   # MDS slowdowns) into every run
+//	stellar -workload IOR_16M -tune -objective robust -faults "seed=42,severity=0.6"
+//	                                                   # search for a configuration that
+//	                                                   # holds up across clean + faulted
+//	                                                   # cluster variants
 //
 // SIGINT/SIGTERM cancel the run's context: in-flight model calls unwind, and
 // the discrete-event simulation itself aborts within a bounded number of
@@ -32,6 +40,7 @@ import (
 	"stellar/internal/cluster"
 	"stellar/internal/core"
 	"stellar/internal/llm/simllm"
+	"stellar/internal/lustre"
 	"stellar/internal/params"
 	"stellar/internal/search"
 	"stellar/internal/workload"
@@ -39,7 +48,7 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("workload", "IOR_16M", "workload name: "+strings.Join(append(workload.Benchmarks(), workload.RealApps()...), ", "))
+		name     = flag.String("workload", "IOR_16M", "workload name: "+strings.Join(append(append(workload.Benchmarks(), workload.RealApps()...), workload.Adversarial()...), ", "))
 		model    = flag.String("model", simllm.Claude37, "tuning agent model: "+strings.Join(simllm.Models(), ", "))
 		scale    = flag.Float64("scale", workload.DefaultScale, "workload scale factor (1.0 = paper size)")
 		attempts = flag.Int("attempts", 5, "maximum configuration attempts")
@@ -50,7 +59,10 @@ func main() {
 		tune      = flag.Bool("tune", false, "run the adaptive successive-halving search over random candidate configs instead of the agentic tuning loop")
 		tuneCands = flag.Int("tune-candidates", 16, "candidate pool size for -tune")
 		tuneReps  = flag.Int("tune-reps", 8, "repetitions the -tune winner is measured at (rounds start at 1 and grow geometrically)")
-		objective = flag.String("objective", "mean", "-tune objective: mean (mean wall), tail (worst rep), composite (mean + 0.5*tail + 0.5*ci90)")
+		objective = flag.String("objective", "mean", "-tune objective: mean (mean wall), tail (worst rep), composite (mean + 0.5*tail + 0.5*ci90), robust (clean + worst faulted variant; needs -faults)")
+
+		faultsFlag    = flag.String("faults", "", `fault plan: "seed=N,severity=F" for a derived schedule, or a JSON plan with explicit windows; empty = healthy cluster`)
+		faultVariants = flag.Int("fault-variants", 2, "faulted cluster variants the robust objective scores each candidate across (1-8)")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
@@ -61,6 +73,13 @@ func main() {
 	plat, cache, err := pf.Build()
 	if err != nil {
 		fatal(err)
+	}
+	plan, err := lustre.ParseFaultPlan(*faultsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultVariants < 1 || *faultVariants > 8 {
+		fatal(fmt.Errorf("-fault-variants must be in [1, 8], got %d", *faultVariants))
 	}
 
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
@@ -73,10 +92,16 @@ func main() {
 		Seed:          *seed,
 		Parallel:      *parallel,
 		Platform:      plat,
+		// The engine-wide plan: the agentic loop's trials and the plain
+		// search both measure on the degraded cluster.
+		Faults: plan,
 	})
+	if !plan.IsZero() {
+		fmt.Printf("fault injection active: %s\n", plan)
+	}
 
 	if *tune {
-		runSearch(ctx, eng, *name, *tuneCands, *tuneReps, *seed, *parallel, *objective)
+		runSearch(ctx, eng, *name, *tuneCands, *tuneReps, *seed, *parallel, *objective, plan, *faultVariants)
 		if cache != nil && *pf.CacheStats {
 			fmt.Printf("run cache [%s]: %s\n", eng.Platform().Name(), cache.Stats())
 		}
@@ -127,16 +152,33 @@ func main() {
 // runSearch drives the adaptive tuning search (internal/search) over the
 // engine's evaluator: every trial flows through the configured platform
 // stack, so -cache makes survivor promotions free and -platform replay
-// reruns a recorded search without simulating.
-func runSearch(ctx context.Context, eng *core.Engine, name string, candidates, reps int, seed int64, parallel int, objective string) {
+// reruns a recorded search without simulating. With -objective robust each
+// candidate is measured on the clean cluster plus variants faulted siblings
+// of the plan, and scored on its worst degraded variant alongside its clean
+// mean.
+func runSearch(ctx context.Context, eng *core.Engine, name string, candidates, reps int, seed int64, parallel int, objective string, plan lustre.FaultPlan, variants int) {
 	spec := cluster.Default()
 	objSpec := search.ObjectiveSpec{Kind: objective}
 	if objective == "composite" {
 		objSpec.MeanWeight, objSpec.TailWeight, objSpec.CIWeight = 1, 0.5, 0.5
 	}
+	if objective == "robust" {
+		if plan.IsZero() {
+			fatal(fmt.Errorf("-objective robust requires -faults"))
+		}
+		objSpec.Perturbations = variants
+	}
 	obj, err := objSpec.Build()
 	if err != nil {
 		fatal(err)
+	}
+	eval := eng.EvaluateSeries
+	if objective == "robust" {
+		plans := plan.Variants(variants)
+		eval = search.PerturbedEval(variants, func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64, v int) ([]float64, error) {
+			walls, _, err := eng.EvaluateBatchFaults(ctx, wl, cfg, reps, seedBase, plans[v])
+			return walls, err
+		})
 	}
 	opts := search.Options{
 		Workload:   name,
@@ -150,7 +192,7 @@ func runSearch(ctx context.Context, eng *core.Engine, name string, candidates, r
 	}
 	fmt.Printf("adaptive search on %s: %d candidates, objective %s, winner at %d reps\n",
 		name, candidates, obj.Name(), reps)
-	res, err := search.Run(ctx, eng.EvaluateSeries, opts, func(rd search.Round) {
+	res, err := search.Run(ctx, eval, opts, func(rd search.Round) {
 		fmt.Printf("  round %d: %2d candidates at %d reps -> keep %d, best score %8.3f (candidate %d)\n",
 			rd.Round, rd.Evaluated, rd.Reps, len(rd.Survivors), rd.Best.Score, rd.Best.Index)
 	})

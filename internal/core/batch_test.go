@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"stellar/internal/lustre"
 	"stellar/internal/params"
 )
 
@@ -53,5 +54,59 @@ func TestEvaluateBatchMatchesPerRepEvaluate(t *testing.T) {
 	}
 	if !reflect.DeepEqual(sum, sum2) {
 		t.Fatalf("summary not reproducible: %+v vs %+v", sum, sum2)
+	}
+}
+
+// TestEvaluateBatchFaults pins the fault seam end to end through the
+// engine: a seeded plan reproduces bit-identically across two independent
+// engines (the cross-process determinism the CI smoke also checks),
+// perturbs the clean series, and composes with the engine-wide default in
+// Options.Faults — which an explicit zero plan overrides back to clean.
+func TestEvaluateBatchFaults(t *testing.T) {
+	ctx := context.Background()
+	cfg := params.Config{"osc.max_rpcs_in_flight": 16}
+	plan := lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	const reps = 3
+	const seedBase = 99
+
+	clean, _, err := testEngine(t, nil).EvaluateBatch(ctx, "IOR_16M", cfg, reps, seedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, sumA, err := testEngine(t, nil).EvaluateBatchFaults(ctx, "IOR_16M", cfg, reps, seedBase, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sumB, err := testEngine(t, nil).EvaluateBatchFaults(ctx, "IOR_16M", cfg, reps, seedBase, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(sumA, sumB) {
+		t.Fatalf("faulted batch not deterministic across engines:\n%v\nvs\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, clean) {
+		t.Fatal("fault plan left the wall-time series untouched")
+	}
+
+	// Options.Faults is the default for every trial; an explicit zero plan
+	// passed to EvaluateBatchFaults must still mean "healthy cluster".
+	faultedEngine := testEngine(t, func(o *Options) { o.Faults = plan })
+	viaDefault, _, err := faultedEngine.EvaluateBatch(ctx, "IOR_16M", cfg, reps, seedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaDefault, a) {
+		t.Fatal("engine-default plan diverged from the explicit per-call plan")
+	}
+	override, _, err := faultedEngine.EvaluateBatchFaults(ctx, "IOR_16M", cfg, reps, seedBase, lustre.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(override, clean) {
+		t.Fatal("zero-plan override did not restore the clean series")
+	}
+
+	if _, _, err := testEngine(t, nil).EvaluateBatchFaults(ctx, "IOR_16M", cfg, 1, 1, lustre.FaultPlan{Severity: 2}); err == nil {
+		t.Fatal("invalid fault plan accepted")
 	}
 }

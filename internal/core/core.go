@@ -43,6 +43,12 @@ type Options struct {
 	MaxAttempts   int     // configuration trials per tuning run (paper: 5)
 	Seed          int64
 
+	// Faults is the engine-wide fault plan: every trial — evaluation reps
+	// and tuning-loop runs alike — executes under it. The zero value is a
+	// healthy cluster and leaves results and cache keys bit-identical to a
+	// pre-fault engine. EvaluateBatchFaults overrides it per call.
+	Faults lustre.FaultPlan
+
 	// Parallel bounds the worker pool Evaluate fans its repetitions over.
 	// <= 1 runs strictly serially; higher values scale with cores. Per-rep
 	// seeds are fixed by index, so results are bit-identical either way.
@@ -185,7 +191,8 @@ func (e *Engine) execute(ctx context.Context, w *workload.Workload, cfg params.C
 		return nil, err
 	}
 	res, err := e.plat.Run(ctx, platform.RunSpec{
-		Spec: e.opts.Spec, Workload: w, Config: snap, Seed: seed, Trace: sink,
+		Spec: e.opts.Spec, Workload: w, Config: snap, Seed: seed,
+		Faults: e.opts.Faults, Trace: sink,
 	})
 	if err != nil {
 		return nil, err
@@ -237,6 +244,18 @@ func (e *Engine) EvaluateSeries(ctx context.Context, workloadName string, cfg pa
 // evaluating each repetition individually. /v1/evaluate, /v1/sweeps, and
 // /v1/tune all reach the simulator through here.
 func (e *Engine) EvaluateBatch(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+	return e.EvaluateBatchFaults(ctx, workloadName, cfg, reps, seedBase, e.opts.Faults)
+}
+
+// EvaluateBatchFaults is EvaluateBatch under an explicit fault plan,
+// overriding the engine default for this call only. The plan is taken as
+// given — a zero plan means a healthy cluster even when Options.Faults is
+// set — which is what lets the robustness objective sweep clean-plus-faulted
+// variants through one engine.
+func (e *Engine) EvaluateBatchFaults(ctx context.Context, workloadName string, cfg params.Config, reps int, seedBase int64, faults lustre.FaultPlan) ([]float64, stats.Summary, error) {
+	if err := faults.Validate(); err != nil {
+		return nil, stats.Summary{}, fmt.Errorf("core: %w", err)
+	}
 	w, err := workload.Catalog(workloadName, e.opts.Spec.TotalRanks(), e.opts.Scale)
 	if err != nil {
 		return nil, stats.Summary{}, err
@@ -248,7 +267,8 @@ func (e *Engine) EvaluateBatch(ctx context.Context, workloadName string, cfg par
 	walls := make([]float64, reps)
 	err = pool.Map(ctx, e.opts.Parallel, reps, func(ctx context.Context, i int) error {
 		res, err := e.plat.Run(ctx, platform.RunSpec{
-			Spec: e.opts.Spec, Workload: w, Config: snap, Seed: seedBase + int64(i)*101,
+			Spec: e.opts.Spec, Workload: w, Config: snap,
+			Seed: seedBase + int64(i)*101, Faults: faults,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,194 @@
+package darshan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stellar/internal/workload"
+)
+
+// ParseDump parses the textual log format Dump emits — commented header
+// lines followed by "<module>\t<rank>\t<record>\t<counter>\t<value>" rows —
+// back into a Log. Together with (*Log).TraceSpec it closes the trace loop:
+// a simulated run's Darshan dump becomes a replayable workload. Unknown
+// counters are skipped (real darshan-parser output carries many more than
+// the simulator emits); malformed rows are errors.
+func ParseDump(text string) (*Log, error) {
+	l := &Log{}
+	recs := make(map[string]*Record)
+	order := []string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeaderLine(&l.Header, line)
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("darshan: line %d: %d fields, want 5 (module, rank, record, counter, value)", ln+1, len(fields))
+		}
+		mod := fields[0]
+		if mod == "MPIIO" {
+			mod = "MPI-IO"
+		}
+		rank, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("darshan: line %d: bad rank %q", ln+1, fields[1])
+		}
+		idText, ok := strings.CutPrefix(fields[2], "file_")
+		if !ok {
+			return nil, fmt.Errorf("darshan: line %d: bad record %q (want file_<id>)", ln+1, fields[2])
+		}
+		id, err := strconv.ParseInt(idText, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("darshan: line %d: bad record id %q", ln+1, idText)
+		}
+		counter, ok := strings.CutPrefix(fields[3], fields[0]+"_")
+		if !ok {
+			return nil, fmt.Errorf("darshan: line %d: counter %q not prefixed by module %q", ln+1, fields[3], fields[0])
+		}
+		key := fmt.Sprintf("%s|%d", mod, id)
+		r, ok := recs[key]
+		if !ok {
+			r = &Record{
+				Module: mod, FileID: int32(id),
+				rankTime: make(map[int]float64),
+				rankSet:  make(map[int]bool),
+			}
+			recs[key] = r
+			order = append(order, key)
+		}
+		// A shared record's rank is -1 in the dump; keeping the sentinel in
+		// rankSet preserves Ranks()==1 and makes Dump∘ParseDump idempotent.
+		r.rankSet[rank] = true
+		if err := applyCounter(r, counter, fields[4]); err != nil {
+			return nil, fmt.Errorf("darshan: line %d: %v", ln+1, err)
+		}
+	}
+	for _, k := range order {
+		l.Records = append(l.Records, recs[k])
+	}
+	return l, nil
+}
+
+// parseHeaderLine fills Header fields from the "# key: value" lines
+// HeaderText writes; unrecognised comments (including the column legend)
+// are ignored.
+func parseHeaderLine(h *Header, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	key, val, ok := strings.Cut(body, ":")
+	if !ok {
+		return
+	}
+	val = strings.TrimSpace(val)
+	switch strings.TrimSpace(key) {
+	case "exe":
+		h.Exe = val
+	case "jobid":
+		h.JobID = val
+	case "nprocs":
+		if n, err := strconv.Atoi(val); err == nil {
+			h.NProcs = n
+		}
+	case "run time":
+		if t, err := strconv.ParseFloat(strings.TrimSuffix(val, " s"), 64); err == nil {
+			h.RunTime = t
+		}
+	case "interfaces":
+		if iface, _, ok := strings.Cut(val, ","); ok {
+			h.Interface = strings.TrimSpace(iface)
+		} else {
+			h.Interface = val
+		}
+	}
+}
+
+// applyCounter sets one parsed counter on the record. Integer counters use
+// the exact names Dump emits; F_* counters parse as floats.
+func applyCounter(r *Record, counter, value string) error {
+	if strings.HasPrefix(counter, "F_") {
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("bad float counter %s value %q", counter, value)
+		}
+		switch counter {
+		case "F_READ_TIME":
+			r.ReadTime = f
+		case "F_WRITE_TIME":
+			r.WriteTime = f
+		case "F_META_TIME":
+			r.MetaTime = f
+		}
+		// F_VARIANCE_RANK_TIME and unknown float counters are derived or
+		// unsupported — skipped.
+		return nil
+	}
+	n, err := strconv.ParseInt(value, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad counter %s value %q", counter, value)
+	}
+	switch counter {
+	case "OPENS":
+		r.Opens = n
+	case "READS":
+		r.Reads = n
+	case "WRITES":
+		r.Writes = n
+	case "STATS":
+		r.Stats = n
+	case "FSYNCS":
+		r.Fsyncs = n
+	case "UNLINKS":
+		r.Unlinks = n
+	case "BYTES_READ":
+		r.BytesRead = n
+	case "BYTES_WRITTEN":
+		r.BytesWritten = n
+	case "SEQ_READS":
+		r.SeqReads = n
+	case "SEQ_WRITES":
+		r.SeqWrites = n
+	case "MAX_BYTE_READ":
+		r.MaxByteRead = n
+	case "MAX_BYTE_WRITTEN":
+		r.MaxByteWritten = n
+	default:
+		for i, name := range sizeBucketNames {
+			switch counter {
+			case name + "_READ":
+				r.ReadSizeBuckets[i] = n
+			case name + "_WRITE":
+				r.WriteSizeBuckets[i] = n
+			}
+		}
+	}
+	return nil
+}
+
+// TraceSpec converts the log into the workload package's neutral trace
+// form, ready for workload.Replay. Only POSIX records are used — MPI-IO
+// jobs emit both modules for the same accesses, and counting each once
+// keeps replayed volume honest.
+func (l *Log) TraceSpec(name string) workload.TraceSpec {
+	spec := workload.TraceSpec{Name: name, Procs: l.Header.NProcs}
+	if spec.Procs < 1 {
+		spec.Procs = 1
+	}
+	for _, r := range l.Records {
+		if r.Module != "POSIX" {
+			continue
+		}
+		shared := r.Ranks() > 1 || r.rankSet[-1]
+		spec.Files = append(spec.Files, workload.TraceFile{
+			Reads: r.Reads, Writes: r.Writes,
+			Stats: r.Stats, Unlinks: r.Unlinks,
+			BytesRead: r.BytesRead, BytesWritten: r.BytesWritten,
+			SeqReads: r.SeqReads, SeqWrites: r.SeqWrites,
+			Shared: shared,
+		})
+	}
+	return spec
+}

@@ -1,0 +1,130 @@
+package darshan
+
+import (
+	"strings"
+	"testing"
+
+	"stellar/internal/lustre"
+	"stellar/internal/workload"
+)
+
+// syntheticLog collects a small MPI-IO event stream: a shared file touched
+// by two ranks (sequential writes, one random read) and a private file on
+// rank 1 with metadata churn.
+func syntheticLog() *Log {
+	c := NewCollector("MPI-IO")
+	evs := []lustre.Event{
+		{Rank: 0, Op: workload.OpCreate, File: 0, Start: 0, End: 0.001},
+		{Rank: 1, Op: workload.OpCreate, File: 0, Start: 0, End: 0.0012},
+		{Rank: 0, Op: workload.OpWrite, File: 0, Offset: 0, Size: 1 << 20, Start: 0.002, End: 0.01, Sequential: true},
+		{Rank: 1, Op: workload.OpWrite, File: 0, Offset: 1 << 20, Size: 1 << 20, Start: 0.002, End: 0.011, Sequential: true},
+		{Rank: 0, Op: workload.OpRead, File: 0, Offset: 512 << 10, Size: 64 << 10, Start: 0.02, End: 0.022, CacheHit: true},
+		{Rank: 1, Op: workload.OpFsync, File: 0, Start: 0.03, End: 0.031},
+		{Rank: 1, Op: workload.OpCreate, File: 1, Start: 0.04, End: 0.041},
+		{Rank: 1, Op: workload.OpWrite, File: 1, Offset: 0, Size: 8 << 10, Start: 0.042, End: 0.043, Sequential: true},
+		{Rank: 1, Op: workload.OpStat, File: 1, Start: 0.05, End: 0.0501},
+		{Rank: 1, Op: workload.OpUnlink, File: 1, Start: 0.06, End: 0.0602},
+	}
+	for _, ev := range evs {
+		c.Record(ev)
+	}
+	return c.Log("job-42", "ior", 2)
+}
+
+// TestParseDumpRoundTrip pins Dump ∘ ParseDump as the identity on the text
+// format: parsing a dump and re-dumping it must reproduce the exact bytes,
+// headers and shared-rank sentinels included.
+func TestParseDumpRoundTrip(t *testing.T) {
+	orig := syntheticLog()
+	text := orig.Dump()
+	parsed, err := ParseDump(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Header.JobID != "job-42" || parsed.Header.Exe != "ior" ||
+		parsed.Header.NProcs != 2 || parsed.Header.Interface != "MPI-IO" {
+		t.Fatalf("header lost in parse: %+v", parsed.Header)
+	}
+	if len(parsed.Records) != len(orig.Records) {
+		t.Fatalf("parsed %d records, want %d", len(parsed.Records), len(orig.Records))
+	}
+	for i, p := range parsed.Records {
+		o := orig.Records[i]
+		if p.Module != o.Module || p.FileID != o.FileID ||
+			p.Opens != o.Opens || p.Reads != o.Reads || p.Writes != o.Writes ||
+			p.Stats != o.Stats || p.Fsyncs != o.Fsyncs || p.Unlinks != o.Unlinks ||
+			p.BytesRead != o.BytesRead || p.BytesWritten != o.BytesWritten ||
+			p.SeqReads != o.SeqReads || p.SeqWrites != o.SeqWrites ||
+			p.MaxByteRead != o.MaxByteRead || p.MaxByteWritten != o.MaxByteWritten ||
+			p.ReadSizeBuckets != o.ReadSizeBuckets || p.WriteSizeBuckets != o.WriteSizeBuckets {
+			t.Fatalf("record %d counters diverged:\nparsed %+v\n  orig %+v", i, p, o)
+		}
+	}
+	redump := parsed.Dump()
+	if redump != text {
+		t.Fatalf("Dump(ParseDump(x)) != x:\n--- original ---\n%s\n--- redumped ---\n%s", text, redump)
+	}
+}
+
+func TestParseDumpErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		text string
+	}{
+		{"short row", "POSIX\t0\tfile_0\tPOSIX_OPENS\n"},
+		{"bad rank", "POSIX\tx\tfile_0\tPOSIX_OPENS\t1\n"},
+		{"bad record", "POSIX\t0\tblob_0\tPOSIX_OPENS\t1\n"},
+		{"module mismatch", "POSIX\t0\tfile_0\tMPIIO_OPENS\t1\n"},
+		{"bad value", "POSIX\t0\tfile_0\tPOSIX_OPENS\tmany\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDump(tc.text); err == nil {
+				t.Fatal("ParseDump accepted malformed input")
+			}
+		})
+	}
+	// Unknown counters are tolerated (real darshan-parser output is a
+	// superset of what the simulator emits).
+	if _, err := ParseDump("POSIX\t0\tfile_0\tPOSIX_MMAPS\t3\n"); err != nil {
+		t.Fatalf("unknown counter rejected: %v", err)
+	}
+}
+
+// TestTraceSpecReplay closes the loop the replay family is built on:
+// collect → dump → parse → TraceSpec → Replay must yield a valid workload
+// preserving the trace's sharing structure, with MPI-IO records excluded
+// from the totals (POSIX already covers them).
+func TestTraceSpecReplay(t *testing.T) {
+	text := syntheticLog().Dump()
+	parsed, err := ParseDump(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := parsed.TraceSpec("replayed")
+	if spec.Procs != 2 {
+		t.Fatalf("procs = %d, want 2", spec.Procs)
+	}
+	if len(spec.Files) != 2 {
+		t.Fatalf("trace files = %d, want 2 (POSIX records only)", len(spec.Files))
+	}
+	if !spec.Files[0].Shared || spec.Files[1].Shared {
+		t.Fatalf("sharing lost: %+v", spec.Files)
+	}
+	var total int64
+	for _, f := range spec.Files {
+		total += f.BytesWritten
+	}
+	if want := int64(2<<20 + 8<<10); total != want {
+		t.Fatalf("replayed write volume %d, want %d (POSIX only, no MPI-IO double count)", total, want)
+	}
+	w := workload.Replay(spec, 4, 0.5)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "replayed" {
+		t.Fatalf("workload name %q", w.Name)
+	}
+	if !strings.Contains(text, "MPIIO") {
+		t.Fatal("synthetic dump unexpectedly lacks MPIIO records")
+	}
+}

@@ -1,0 +1,365 @@
+package lustre
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// This file is the deterministic fault-injection layer. A FaultPlan is a
+// declarative, JSON-serializable schedule of degradation windows — OST
+// dropouts, degraded stripe bandwidth, metadata-server slowdowns — that the
+// runner consults at three hook points (OST service admission, media
+// transfer, MDS service). The hooks are guarded by a nil check on the
+// compiled state, so a zero plan leaves the clean instruction path, rng draw
+// order, and floating-point arithmetic untouched: zero-fault runs stay
+// bit-identical to the golden replays. Non-zero plans are themselves
+// seed-deterministic — the same plan over the same workload/config/seed
+// reproduces byte-identical results across processes.
+
+// Window is one recurrence of degraded time. Start is the first onset,
+// Duration the degraded span; Period > 0 repeats the window every Period
+// seconds (Period must exceed Duration so every window has a recovery gap,
+// which is what guarantees dropout stalls always make progress), Period == 0
+// means one-shot.
+type Window struct {
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	Period   float64 `json:"period,omitempty"`
+}
+
+// active reports whether t falls inside the window.
+func (w Window) active(t float64) bool {
+	if t < w.Start {
+		return false
+	}
+	if w.Period <= 0 {
+		return t < w.Start+w.Duration
+	}
+	return math.Mod(t-w.Start, w.Period) < w.Duration
+}
+
+// until returns the time remaining inside the window, assuming active(t).
+func (w Window) until(t float64) float64 {
+	if w.Period <= 0 {
+		return w.Start + w.Duration - t
+	}
+	return w.Duration - math.Mod(t-w.Start, w.Period)
+}
+
+func (w Window) validate(what string) error {
+	if !(w.Start >= 0) || math.IsInf(w.Start, 0) {
+		return fmt.Errorf("lustre: %s window start %v must be finite and >= 0", what, w.Start)
+	}
+	if !(w.Duration > 0) || math.IsInf(w.Duration, 0) {
+		return fmt.Errorf("lustre: %s window duration %v must be finite and > 0", what, w.Duration)
+	}
+	if w.Period != 0 && (!(w.Period > w.Duration) || math.IsInf(w.Period, 0)) {
+		return fmt.Errorf("lustre: %s window period %v must be 0 (one-shot) or > duration %v", what, w.Period, w.Duration)
+	}
+	return nil
+}
+
+// OSTFault degrades one OST (index taken modulo the cluster's OST count, so
+// plans stay portable across cluster sizes). Factor 0 drops the OST: RPCs
+// stall at service admission until the window closes. 0 < Factor < 1 scales
+// the media bandwidth down to that fraction for the window; Factor 1 is a
+// no-op window.
+type OSTFault struct {
+	OST    int     `json:"ost"`
+	Factor float64 `json:"factor"`
+	Window
+}
+
+// MDSFault multiplies metadata service times by Factor (>= 1) while its
+// window is active.
+type MDSFault struct {
+	Factor float64 `json:"factor"`
+	Window
+}
+
+// FaultPlan is a deterministic degradation schedule. The zero value means
+// "healthy cluster" and is guaranteed not to perturb a run in any way.
+//
+// Plans come in two shapes. A fully explicit plan lists OST and MDS windows
+// directly. A seeded plan (Seed != 0, no explicit windows) derives a
+// canonical schedule from Seed and Severity at run start — the derivation
+// depends only on (Seed, Severity, OST count), so the declarative form is
+// what gets hashed into cache keys and shipped over HTTP.
+type FaultPlan struct {
+	Seed     int64      `json:"seed,omitempty"`
+	Severity float64    `json:"severity,omitempty"`
+	OSTs     []OSTFault `json:"osts,omitempty"`
+	MDS      []MDSFault `json:"mds,omitempty"`
+}
+
+// IsZero reports whether the plan is the healthy-cluster zero value.
+func (p FaultPlan) IsZero() bool {
+	return p.Seed == 0 && p.Severity == 0 && len(p.OSTs) == 0 && len(p.MDS) == 0
+}
+
+// Validate checks the plan's invariants: finite fields, severity in [0, 1],
+// positive durations, and periods that leave a recovery gap (the progress
+// guarantee the fuzz harness leans on).
+func (p FaultPlan) Validate() error {
+	if math.IsNaN(p.Severity) || p.Severity < 0 || p.Severity > 1 {
+		return fmt.Errorf("lustre: fault severity %v must be in [0, 1]", p.Severity)
+	}
+	for i, f := range p.OSTs {
+		if f.OST < 0 {
+			return fmt.Errorf("lustre: ost fault %d targets negative OST %d", i, f.OST)
+		}
+		if math.IsNaN(f.Factor) || f.Factor < 0 || f.Factor > 1 {
+			return fmt.Errorf("lustre: ost fault %d factor %v must be in [0, 1] (0 = dropout)", i, f.Factor)
+		}
+		if err := f.validate("ost fault"); err != nil {
+			return err
+		}
+	}
+	for i, f := range p.MDS {
+		if math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) || f.Factor < 1 {
+			return fmt.Errorf("lustre: mds fault %d factor %v must be finite and >= 1", i, f.Factor)
+		}
+		if err := f.validate("mds fault"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the plan in a form ParseFaultPlan accepts back: the
+// compact k=v list for seeded plans, JSON once explicit windows are
+// present, and "" for the zero plan.
+func (p FaultPlan) String() string {
+	if p.IsZero() {
+		return ""
+	}
+	if len(p.OSTs) == 0 && len(p.MDS) == 0 {
+		return fmt.Sprintf("seed=%d,severity=%g", p.Seed, p.effSeverity())
+	}
+	b, _ := json.Marshal(p)
+	return string(b)
+}
+
+// Variants returns the robust-objective perturbation set: index 0 is the
+// zero plan (the clean baseline), index 1 is the plan itself, and entries
+// 2..k are derived plans re-seeded deterministically so the objective sees
+// k independent degradation scenarios.
+func (p FaultPlan) Variants(k int) []FaultPlan {
+	out := make([]FaultPlan, 0, k+1)
+	out = append(out, FaultPlan{})
+	if k < 1 {
+		return out
+	}
+	out = append(out, p)
+	sev := p.effSeverity()
+	for i := 2; i <= k; i++ {
+		out = append(out, FaultPlan{Seed: p.Seed + int64(i)*7919, Severity: sev})
+	}
+	return out
+}
+
+// effSeverity is the severity a seeded plan derives windows at: explicit
+// Severity if set, otherwise 0.5 so `-faults seed=N` alone is meaningful.
+func (p FaultPlan) effSeverity() float64 {
+	if p.Severity > 0 {
+		return p.Severity
+	}
+	return 0.5
+}
+
+// Expand returns the concrete window schedule for a cluster with osts OSTs.
+// Plans with explicit windows are returned unchanged; seeded plans derive a
+// canonical schedule: a severity-scaled subset of OSTs gets periodic
+// dropouts, the rest get degraded-bandwidth windows with probability
+// proportional to severity, and the MDS gets one periodic slowdown phase.
+// The derivation draws from rand.New(Seed) in a fixed order, so it is a
+// pure function of (Seed, Severity, osts).
+func (p FaultPlan) Expand(osts int) FaultPlan {
+	if len(p.OSTs) > 0 || len(p.MDS) > 0 || (p.Seed == 0 && p.Severity == 0) {
+		return p
+	}
+	if osts < 1 {
+		osts = 1
+	}
+	sev := p.effSeverity()
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := FaultPlan{Seed: p.Seed, Severity: p.Severity}
+	// logUniform spans the model's wall-time range (sub-0.1s metadata runs
+	// to multi-second bulk runs) so every run length meets some window.
+	logUniform := func(lo, hi float64) float64 {
+		return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+	}
+	nDrop := 1 + int(sev*float64(osts)/3)
+	if nDrop > osts {
+		nDrop = osts
+	}
+	order := rng.Perm(osts)
+	duty := 0.05 + 0.25*sev
+	for i, ost := range order {
+		if i < nDrop {
+			// Two dropout recurrences per dropped OST: a short-period window
+			// whose first onset lands within its (sub-30ms) duration, so even
+			// the model's shortest metadata runs meet a fault, and a long
+			// random-phase window that shapes multi-second bulk runs.
+			short := logUniform(0.01, 0.1)
+			out.OSTs = append(out.OSTs, OSTFault{
+				OST:    ost,
+				Factor: 0,
+				Window: Window{Start: rng.Float64() * short * duty, Duration: short * duty, Period: short},
+			})
+			long := logUniform(0.5, 5)
+			out.OSTs = append(out.OSTs, OSTFault{
+				OST:    ost,
+				Factor: 0,
+				Window: Window{Start: rng.Float64() * long, Duration: long * duty, Period: long},
+			})
+			continue
+		}
+		roll := rng.Float64()
+		factor := 1 - sev*(0.3+0.6*rng.Float64())
+		period := logUniform(0.02, 2)
+		if roll >= sev {
+			continue
+		}
+		out.OSTs = append(out.OSTs, OSTFault{
+			OST:    ost,
+			Factor: factor,
+			Window: Window{Start: rng.Float64() * period, Duration: period * (0.3 + 0.4*sev), Period: period},
+		})
+	}
+	period := logUniform(0.01, 0.2)
+	dur := period * (0.2 + 0.4*sev)
+	out.MDS = append(out.MDS, MDSFault{
+		Factor: 1 + 4*sev,
+		Window: Window{Start: rng.Float64() * dur, Duration: dur, Period: period},
+	})
+	return out
+}
+
+// ParseFaultPlan turns a CLI-shaped string into a plan. The empty string is
+// the zero plan; a string starting with '{' is parsed as the JSON form; and
+// a comma-separated "seed=N,severity=F" list builds a seeded plan.
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	var p FaultPlan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			return FaultPlan{}, fmt.Errorf("lustre: bad fault plan JSON: %w", err)
+		}
+	} else {
+		for _, kv := range strings.Split(s, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return FaultPlan{}, fmt.Errorf("lustre: bad fault plan field %q (want key=value)", kv)
+			}
+			switch key {
+			case "seed":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return FaultPlan{}, fmt.Errorf("lustre: bad fault seed %q: %w", val, err)
+				}
+				p.Seed = n
+			case "severity":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return FaultPlan{}, fmt.Errorf("lustre: bad fault severity %q: %w", val, err)
+				}
+				p.Severity = f
+			default:
+				return FaultPlan{}, fmt.Errorf("lustre: unknown fault plan field %q (want seed or severity)", key)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return FaultPlan{}, err
+	}
+	return p, nil
+}
+
+// faultRecoveryEps nudges dropout wakeups strictly past the window edge so
+// floating-point boundary effects can never re-arm the same stall at the
+// same instant.
+const faultRecoveryEps = 1e-9
+
+// faultState is a plan compiled against a concrete cluster: per-OST dropout
+// and bandwidth-degradation window lists, indexed for the hot-path queries.
+type faultState struct {
+	down [][]Window   // per OST: dropout windows
+	bw   [][]OSTFault // per OST: degraded-bandwidth windows
+	mds  []MDSFault
+}
+
+// compile expands the plan and buckets its windows per OST. Callers only
+// compile validated non-zero plans; the runner keeps a nil *faultState for
+// clean runs.
+func (p FaultPlan) compile(osts int) *faultState {
+	ex := p.Expand(osts)
+	if osts < 1 {
+		osts = 1
+	}
+	fs := &faultState{
+		down: make([][]Window, osts),
+		bw:   make([][]OSTFault, osts),
+		mds:  ex.MDS,
+	}
+	for _, f := range ex.OSTs {
+		o := f.OST % osts
+		if f.Factor == 0 {
+			fs.down[o] = append(fs.down[o], f.Window)
+		} else if f.Factor < 1 {
+			fs.bw[o] = append(fs.bw[o], f)
+		}
+	}
+	return fs
+}
+
+// stall returns how long an RPC arriving at OST ost at time t must wait for
+// the OST to come back, or 0 when the OST is up. Overlapping dropout
+// windows stall until the last one clears.
+func (fs *faultState) stall(ost int, t float64) float64 {
+	var wait float64
+	for _, w := range fs.down[ost] {
+		if w.active(t) {
+			if u := w.until(t) + faultRecoveryEps; u > wait {
+				wait = u
+			}
+		}
+	}
+	return wait
+}
+
+// bwFactor returns the media bandwidth multiplier for OST ost at time t:
+// the product of all active degradation factors, floored well above zero so
+// degraded transfers always finish.
+func (fs *faultState) bwFactor(ost int, t float64) float64 {
+	factor := 1.0
+	for _, f := range fs.bw[ost] {
+		if f.active(t) {
+			factor *= f.Factor
+		}
+	}
+	if factor < 0.01 {
+		factor = 0.01
+	}
+	return factor
+}
+
+// mdsFactor returns the metadata service-time multiplier at time t.
+func (fs *faultState) mdsFactor(t float64) float64 {
+	factor := 1.0
+	for _, f := range fs.mds {
+		if f.active(t) {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}

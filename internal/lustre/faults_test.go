@@ -1,0 +1,228 @@
+package lustre_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+func TestFaultPlanValidate(t *testing.T) {
+	win := lustre.Window{Start: 0, Duration: 0.1, Period: 0.5}
+	for _, tc := range []struct {
+		name string
+		plan lustre.FaultPlan
+		ok   bool
+	}{
+		{"zero", lustre.FaultPlan{}, true},
+		{"seeded", lustre.FaultPlan{Seed: 42, Severity: 0.6}, true},
+		{"explicit", lustre.FaultPlan{
+			OSTs: []lustre.OSTFault{{OST: 1, Factor: 0.5, Window: win}},
+			MDS:  []lustre.MDSFault{{Factor: 2, Window: win}},
+		}, true},
+		{"one-shot", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Window: lustre.Window{Start: 1, Duration: 2}}}}, true},
+		{"negative severity", lustre.FaultPlan{Severity: -0.1}, false},
+		{"severity over one", lustre.FaultPlan{Severity: 1.5}, false},
+		{"nan severity", lustre.FaultPlan{Severity: math.NaN()}, false},
+		{"negative ost", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: -1, Window: win}}}, false},
+		{"factor over one", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Factor: 1.5, Window: win}}}, false},
+		{"zero duration", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Window: lustre.Window{Duration: 0}}}}, false},
+		{"negative start", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Window: lustre.Window{Start: -1, Duration: 1}}}}, false},
+		{"period under duration", lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Window: lustre.Window{Duration: 1, Period: 0.5}}}}, false},
+		{"mds speedup", lustre.FaultPlan{MDS: []lustre.MDSFault{{Factor: 0.5, Window: win}}}, false},
+		{"inf mds factor", lustre.FaultPlan{MDS: []lustre.MDSFault{{Factor: math.Inf(1), Window: win}}}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want lustre.FaultPlan
+		ok   bool
+	}{
+		{"", lustre.FaultPlan{}, true},
+		{"seed=42", lustre.FaultPlan{Seed: 42}, true},
+		{"seed=42,severity=0.6", lustre.FaultPlan{Seed: 42, Severity: 0.6}, true},
+		{" seed=7 , severity=1 ", lustre.FaultPlan{Seed: 7, Severity: 1}, true},
+		{`{"seed":42,"severity":0.6}`, lustre.FaultPlan{Seed: 42, Severity: 0.6}, true},
+		{`{"osts":[{"ost":1,"factor":0,"start":0,"duration":0.1,"period":1}]}`,
+			lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 1, Window: lustre.Window{Duration: 0.1, Period: 1}}}}, true},
+		{"seed", lustre.FaultPlan{}, false},
+		{"seed=x", lustre.FaultPlan{}, false},
+		{"severity=2", lustre.FaultPlan{}, false},
+		{"bogus=1", lustre.FaultPlan{}, false},
+		{`{"bogus":1}`, lustre.FaultPlan{}, false},
+	} {
+		got, err := lustre.ParseFaultPlan(tc.in)
+		if tc.ok && err != nil {
+			t.Errorf("ParseFaultPlan(%q) error: %v", tc.in, err)
+			continue
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("ParseFaultPlan(%q) = %+v, want error", tc.in, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseFaultPlan(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFaultPlanExpandDeterministic pins Expand to be a pure function of
+// (Seed, Severity, OST count) and to always yield a valid, engaged plan.
+func TestFaultPlanExpandDeterministic(t *testing.T) {
+	p := lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	a, b := p.Expand(5), p.Expand(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Expand not deterministic:\n%+v\n%+v", a, b)
+	}
+	if len(a.OSTs) == 0 || len(a.MDS) == 0 {
+		t.Fatalf("seeded plan expanded to no faults: %+v", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("expanded plan invalid: %v", err)
+	}
+	// An explicit plan expands to itself.
+	explicit := lustre.FaultPlan{OSTs: []lustre.OSTFault{{OST: 0, Window: lustre.Window{Duration: 1}}}}
+	if got := explicit.Expand(5); !reflect.DeepEqual(got, explicit) {
+		t.Fatalf("explicit plan changed under Expand: %+v", got)
+	}
+}
+
+func TestFaultPlanVariants(t *testing.T) {
+	p := lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	vs := p.Variants(3)
+	if len(vs) != 4 {
+		t.Fatalf("Variants(3) returned %d plans, want 4", len(vs))
+	}
+	if !vs[0].IsZero() {
+		t.Fatalf("variant 0 must be the clean baseline, got %+v", vs[0])
+	}
+	if !reflect.DeepEqual(vs[1], p) {
+		t.Fatalf("variant 1 must be the plan itself, got %+v", vs[1])
+	}
+	seen := map[int64]bool{}
+	for _, v := range vs[1:] {
+		if seen[v.Seed] {
+			t.Fatalf("duplicate variant seed %d in %+v", v.Seed, vs)
+		}
+		seen[v.Seed] = true
+		if err := v.Validate(); err != nil {
+			t.Fatalf("variant %+v invalid: %v", v, err)
+		}
+	}
+}
+
+// TestFaultedRunDeterministic asserts the core reproducibility contract:
+// the same (workload, config, seed, fault plan) yields a deeply equal
+// Result on every run, and a different fault seed yields a different wall.
+func TestFaultedRunDeterministic(t *testing.T) {
+	spec := cluster.Default()
+	cfg := params.DefaultConfig(params.Lustre())
+	w := workload.MDWorkbench8K(spec.TotalRanks(), 0.05)
+	opts := lustre.Options{Spec: spec, Config: cfg, Seed: 7, Faults: lustre.FaultPlan{Seed: 42, Severity: 0.6}}
+	a, err := lustre.Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lustre.Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted run not reproducible:\n%+v\n%+v", a, b)
+	}
+	opts.Faults.Seed = 43
+	c, err := lustre.Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WallTime == a.WallTime {
+		t.Fatalf("different fault seeds produced identical walls: %v", c.WallTime)
+	}
+}
+
+// FuzzFaultPlan feeds arbitrary seeded plans through a full simulated run
+// and asserts the kernel never deadlocks: the run completes, the clock is
+// monotone and finite, every barrier is balanced (all ranks arrived — a
+// stuck rank would leave the final barrier count short and the engine
+// would drain early), and the data totals match the clean run (faults delay
+// work, they never lose it).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(42), 0.6, uint8(0))
+	f.Add(int64(-7), 0.0, uint8(1))
+	f.Add(int64(1), 1.0, uint8(2))
+	f.Add(int64(9999), 0.01, uint8(3))
+
+	spec := cluster.Default()
+	cfg := params.DefaultConfig(params.Lustre())
+	mks := []func(int, float64) *workload.Workload{workload.MDWorkbench8K, workload.IOR64K}
+	type cleanStats struct {
+		bytesRead, bytesWritten int64
+		barriers                int
+	}
+	clean := make([]cleanStats, len(mks))
+	for i, mk := range mks {
+		w := mk(spec.TotalRanks(), 0.01)
+		res, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+		clean[i] = cleanStats{res.BytesRead, res.BytesWritten, len(res.BarrierTimes)}
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, severity float64, pick uint8) {
+		if math.IsNaN(severity) || math.IsInf(severity, 0) {
+			severity = 0.5
+		}
+		severity = math.Abs(severity)
+		severity -= math.Floor(severity) // wrap into [0, 1)
+		plan := lustre.FaultPlan{Seed: seed, Severity: severity}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("seeded plan %+v failed validation: %v", plan, err)
+		}
+		wi := int(pick) % len(mks)
+		w := mks[wi](spec.TotalRanks(), 0.01)
+		res, err := lustre.Run(context.Background(), w, lustre.Options{
+			Spec: spec, Config: cfg, Seed: 7, Faults: plan,
+		})
+		if err != nil {
+			t.Fatalf("faulted run failed: %v", err)
+		}
+		if !(res.WallTime >= 0) || math.IsInf(res.WallTime, 0) {
+			t.Fatalf("wall time %v not finite and non-negative", res.WallTime)
+		}
+		if res.BytesRead != clean[wi].bytesRead || res.BytesWritten != clean[wi].bytesWritten {
+			t.Fatalf("faults changed data totals: read %d/%d written %d/%d",
+				res.BytesRead, clean[wi].bytesRead, res.BytesWritten, clean[wi].bytesWritten)
+		}
+		if len(res.BarrierTimes) != clean[wi].barriers {
+			t.Fatalf("barrier balance broke: %d barriers completed, want %d",
+				len(res.BarrierTimes), clean[wi].barriers)
+		}
+		if !sort.Float64sAreSorted(res.BarrierTimes) {
+			t.Fatalf("barrier completion times not monotone: %v", res.BarrierTimes)
+		}
+		if res.WallTime < res.LastDataRPC || res.WallTime < res.LastMetaRPC {
+			t.Fatalf("wall %v precedes last RPC (data %v, meta %v)", res.WallTime, res.LastDataRPC, res.LastMetaRPC)
+		}
+	})
+}

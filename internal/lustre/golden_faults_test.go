@@ -1,0 +1,164 @@
+package lustre_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"stellar/internal/cluster"
+	"stellar/internal/lustre"
+	"stellar/internal/params"
+	"stellar/internal/workload"
+)
+
+// faultGolden extends golden with the fault-injection counters; the pinned
+// values were captured from the first FaultPlan implementation and guard the
+// fault schedule's determinism the same way golden_test.go guards the clean
+// kernel: any drift means faulted cache keys and recorded replays went
+// stale.
+type faultGolden struct {
+	golden
+	stalls   uint64
+	stallSec float64
+}
+
+// canonicalFaultPlans are the three pinned degradation scenarios: a rolling
+// dropout that takes each OST down in turn, a pair of degraded stripes plus
+// an MDS slowdown phase, and a fully seed-derived storm (exercising Expand's
+// canonical derivation).
+func canonicalFaultPlans() map[string]lustre.FaultPlan {
+	rolling := make([]lustre.OSTFault, 5)
+	for o := range rolling {
+		rolling[o] = lustre.OSTFault{
+			OST:    o,
+			Factor: 0,
+			Window: lustre.Window{Start: 0.02 * float64(o), Duration: 0.015, Period: 0.1},
+		}
+	}
+	return map[string]lustre.FaultPlan{
+		"rolling-dropout": {OSTs: rolling},
+		"degraded-stripes": {
+			OSTs: []lustre.OSTFault{
+				{OST: 0, Factor: 0.4, Window: lustre.Window{Start: 0, Duration: 1.5, Period: 4}},
+				{OST: 2, Factor: 0.25, Window: lustre.Window{Start: 0.02, Duration: 0.03, Period: 0.08}},
+			},
+			MDS: []lustre.MDSFault{
+				{Factor: 3, Window: lustre.Window{Start: 0.01, Duration: 0.05, Period: 0.25}},
+			},
+		},
+		"seeded-storm": {Seed: 42, Severity: 0.6},
+	}
+}
+
+func TestFaultGoldenReplay(t *testing.T) {
+	spec := cluster.Default()
+	cfg := params.DefaultConfig(params.Lustre())
+	mks := map[string]func(int, float64) *workload.Workload{
+		"IOR_16M":        workload.IOR16M,
+		"MDWorkbench_8K": workload.MDWorkbench8K,
+	}
+	plans := canonicalFaultPlans()
+	for _, tc := range []struct {
+		plan  string
+		name  string
+		scale float64
+		seed  int64
+		want  faultGolden
+	}{
+		{"rolling-dropout", "IOR_16M", 0.05, 7, faultGolden{
+			golden: golden{wall: 23.10708078712677, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9916, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 23.10708078712677, lastMeta: 22.9586027706986, barriers: 2},
+			stalls: 1499, stallSec: 11.203697199559844}},
+		{"rolling-dropout", "MDWorkbench_8K", 0.05, 7, faultGolden{
+			golden: golden{wall: 0.096630803848182, bytesRead: 24576000, bytesWritten: 24576000, dataRPCs: 3000, metaRPCs: 14601, cacheHits: 3000, raHits: 0, statHits: 6000, lastData: 0.096630803848182, lastMeta: 0.09053532819370197, barriers: 4},
+			stalls: 199, stallSec: 2.2484840996421305}},
+		{"degraded-stripes", "IOR_16M", 0.05, 7, faultGolden{
+			golden: golden{wall: 30.413705111029504, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9909, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 30.413705111029504, lastMeta: 30.24992504796029, barriers: 2},
+			stalls: 0, stallSec: 0}},
+		{"degraded-stripes", "MDWorkbench_8K", 0.05, 7, faultGolden{
+			golden: golden{wall: 0.11228631621665569, bytesRead: 24576000, bytesWritten: 24576000, dataRPCs: 3000, metaRPCs: 14608, cacheHits: 3000, raHits: 0, statHits: 6000, lastData: 0.11215845031447134, lastMeta: 0.11228231621665569, barriers: 4},
+			stalls: 0, stallSec: 0}},
+		{"seeded-storm", "IOR_16M", 0.05, 7, faultGolden{
+			golden: golden{wall: 26.49457265006301, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9903, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 26.49457265006301, lastMeta: 26.330555074460044, barriers: 2},
+			stalls: 2840, stallSec: 176.39228372808986}},
+		{"seeded-storm", "MDWorkbench_8K", 0.05, 7, faultGolden{
+			golden: golden{wall: 0.12048418174319964, bytesRead: 24576000, bytesWritten: 24576000, dataRPCs: 3000, metaRPCs: 14616, cacheHits: 3000, raHits: 0, statHits: 6000, lastData: 0.11977590560995542, lastMeta: 0.12048018174319963, barriers: 4},
+			stalls: 201, stallSec: 0.7278227829375528}},
+	} {
+		t.Run(tc.plan+"/"+tc.name, func(t *testing.T) {
+			w := mks[tc.name](spec.TotalRanks(), tc.scale)
+			res, err := lustre.Run(context.Background(), w, lustre.Options{
+				Spec: spec, Config: cfg, Seed: tc.seed, Faults: plans[tc.plan],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := faultGolden{
+				golden: golden{
+					wall: res.WallTime, bytesRead: res.BytesRead, bytesWritten: res.BytesWritten,
+					dataRPCs: res.DataRPCs, metaRPCs: res.MetaRPCs, cacheHits: res.CacheHits,
+					raHits: res.RAHits, statHits: res.StatHits,
+					lastData: res.LastDataRPC, lastMeta: res.LastMetaRPC, barriers: len(res.BarrierTimes),
+				},
+				stalls:   res.FaultStalls,
+				stallSec: res.FaultStallSec,
+			}
+			if got != tc.want {
+				t.Errorf("faulted result diverged:\n got %#v\nwant %#v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestZeroFaultPlanBitIdentical is the no-perturbation guarantee: running
+// with an explicit zero FaultPlan must reproduce the exact golden_test.go
+// values — same wall-clock floats, same counters — because the zero plan
+// compiles to a nil fault state and the clean instruction path never
+// consults it.
+func TestZeroFaultPlanBitIdentical(t *testing.T) {
+	spec := cluster.Default()
+	cfg := params.DefaultConfig(params.Lustre())
+	mks := map[string]func(int, float64) *workload.Workload{
+		"IOR_16M":        workload.IOR16M,
+		"MDWorkbench_8K": workload.MDWorkbench8K,
+	}
+	for _, tc := range []struct {
+		name  string
+		scale float64
+		seed  int64
+		want  golden
+	}{
+		{"IOR_16M", 0.05, 7, golden{wall: 23.08269366263013, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9909, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 23.08269366263013, lastMeta: 22.918913599560916, barriers: 2}},
+		{"IOR_16M", 0.1, 99, golden{wall: 23.08000177079802, bytesRead: 5033164800, bytesWritten: 5033164800, dataRPCs: 9896, metaRPCs: 190, cacheHits: 2, raHits: 0, statHits: 10, lastData: 23.08000177079802, lastMeta: 22.931328358819503, barriers: 2}},
+		{"MDWorkbench_8K", 0.05, 7, golden{wall: 0.09056157923368181, bytesRead: 24576000, bytesWritten: 24576000, dataRPCs: 3000, metaRPCs: 14605, cacheHits: 3000, raHits: 0, statHits: 6000, lastData: 0.08985048319597148, lastMeta: 0.09055757923368181, barriers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := mks[tc.name](spec.TotalRanks(), tc.scale)
+			opts := lustre.Options{Spec: spec, Config: cfg, Seed: tc.seed, Faults: lustre.FaultPlan{}}
+			res, err := lustre.Run(context.Background(), w, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := golden{
+				wall: res.WallTime, bytesRead: res.BytesRead, bytesWritten: res.BytesWritten,
+				dataRPCs: res.DataRPCs, metaRPCs: res.MetaRPCs, cacheHits: res.CacheHits,
+				raHits: res.RAHits, statHits: res.StatHits,
+				lastData: res.LastDataRPC, lastMeta: res.LastMetaRPC, barriers: len(res.BarrierTimes),
+			}
+			if got != tc.want {
+				t.Fatalf("zero fault plan perturbed the run:\n got %+v\nwant %+v", got, tc.want)
+			}
+			if res.FaultStalls != 0 || res.FaultStallSec != 0 {
+				t.Fatalf("zero fault plan recorded stalls: %d (%v sec)", res.FaultStalls, res.FaultStallSec)
+			}
+			// And an identical second run (fresh scratch state) must agree on
+			// every Result field, fault plan or not.
+			res2, err := lustre.Run(context.Background(), w, lustre.Options{Spec: spec, Config: cfg, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, res2) {
+				t.Fatalf("explicit zero plan drifted from no plan:\n with %+v\nwithout %+v", res, res2)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ type Options struct {
 	Config params.Config
 	Seed   int64
 	Trace  TraceSink // optional; nil disables tracing
+	Faults FaultPlan // zero value = healthy cluster, bit-identical to pre-fault runs
 }
 
 // TraceSink receives one Event per completed application I/O operation.
@@ -44,19 +45,21 @@ type Event struct {
 
 // Result summarises a run.
 type Result struct {
-	WallTime     float64
-	BytesRead    int64
-	BytesWritten int64
-	DataRPCs     uint64
-	MetaRPCs     uint64
-	CacheHits    uint64  // page-cache read hits
-	RAHits       uint64  // reads served by completed readahead
-	RAWasted     int64   // readahead bytes fetched for random access
-	StatHits     uint64  // stats/opens served by the client lock/attr cache
-	LastDataRPC  float64 // completion time of the last bulk RPC
-	LastMetaRPC  float64 // completion time of the last metadata RPC
-	BarrierTimes []float64
-	Clamped      []string // parameters clamped into range before the run
+	WallTime      float64
+	BytesRead     int64
+	BytesWritten  int64
+	DataRPCs      uint64
+	MetaRPCs      uint64
+	CacheHits     uint64  // page-cache read hits
+	RAHits        uint64  // reads served by completed readahead
+	RAWasted      int64   // readahead bytes fetched for random access
+	StatHits      uint64  // stats/opens served by the client lock/attr cache
+	LastDataRPC   float64 // completion time of the last bulk RPC
+	LastMetaRPC   float64 // completion time of the last metadata RPC
+	FaultStalls   uint64  // RPCs parked at a dropped OST (always 0 on clean runs)
+	FaultStallSec float64 // total time RPCs spent waiting out OST dropouts
+	BarrierTimes  []float64
+	Clamped       []string // parameters clamped into range before the run
 }
 
 // cfgValues is the decoded, typed view of a params.Config.
@@ -146,6 +149,9 @@ func Run(ctx context.Context, w *workload.Workload, opts Options) (*Result, erro
 	if w.NumRanks() != opts.Spec.TotalRanks() {
 		return nil, fmt.Errorf("lustre: workload has %d ranks but cluster provides %d",
 			w.NumRanks(), opts.Spec.TotalRanks())
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	reg := params.Lustre()
 	cv, clamped, err := decodeConfig(opts.Config, opts.Spec, reg)

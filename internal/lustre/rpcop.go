@@ -327,6 +327,16 @@ func (r *runner) rpcStep(i int32) {
 		op.state = rsThreads
 		r.ostNIC[op.ost].Send(float64(op.size), op.cont)
 	case rsThreads:
+		if r.faults != nil {
+			// A dropped OST stalls the RPC here, before the setup draw;
+			// state is unchanged so the wakeup re-checks the schedule.
+			if wait := r.faults.stall(int(op.ost), r.eng.Now()); wait > 0 {
+				r.res.FaultStalls++
+				r.res.FaultStallSec += wait
+				r.eng.After(wait, op.cont)
+				return
+			}
+		}
 		op.setup = r.setupService(r.files[op.file], chunk{ost: int(op.ost), off: op.off, size: op.size})
 		op.state = rsSetup
 		r.ostThreads[op.ost].Acquire(op.cont)
@@ -336,7 +346,11 @@ func (r *runner) rpcStep(i int32) {
 	case rsMedia:
 		op.state = rsReply
 		p := r.ostBW[op.ost]
-		p.Send(op.media*p.Rate(), op.cont)
+		media := op.media
+		if r.faults != nil {
+			media /= r.faults.bwFactor(int(op.ost), r.eng.Now())
+		}
+		p.Send(media*p.Rate(), op.cont)
 	case rsReply:
 		r.ostThreads[op.ost].Release()
 		op.state = rsDone
@@ -464,7 +478,11 @@ func (r *runner) metaStep(i int32) {
 
 func (r *runner) metaService(m *metaOp) {
 	m.state = msReply
-	r.mds.Use(m.service*r.jitter(), m.cont)
+	service := m.service
+	if r.faults != nil {
+		service *= r.faults.mdsFactor(r.eng.Now())
+	}
+	r.mds.Use(service*r.jitter(), m.cont)
 }
 
 // completeMeta dispatches a finished metadata RPC by kind; like completeRPC

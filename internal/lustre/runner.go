@@ -30,6 +30,10 @@ type runner struct {
 	rng  *rand.Rand
 	sink TraceSink
 
+	// faults is the compiled fault schedule, nil on clean runs so the
+	// zero-fault hot path (and its rng draw order) is untouched.
+	faults *faultState
+
 	nodeNIC    []*sim.Pipe
 	ostNIC     []*sim.Pipe
 	ostThreads []*sim.Resource // seek/setup stage (NCQ-style overlap)
@@ -142,6 +146,9 @@ func newRunner(w *workload.Workload, opts Options, cv cfgValues, sc *scratch) *r
 		w:    w,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		sink: opts.Trace,
+	}
+	if !opts.Faults.IsZero() {
+		r.faults = opts.Faults.compile(spec.OSTCount)
 	}
 	sc.r = r
 	r.chunks = sc.chunks

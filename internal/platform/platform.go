@@ -37,6 +37,7 @@ type RunSpec struct {
 	Workload *workload.Workload
 	Config   params.Config
 	Seed     int64
+	Faults   lustre.FaultPlan
 	Trace    lustre.TraceSink
 }
 
@@ -90,6 +91,13 @@ func (s RunSpec) Key() string {
 		fmt.Fprintf(h, "cfg %s=%d\n", k, s.Config[k])
 	}
 	fmt.Fprintf(h, "seed %d\n", s.Seed)
+	// The fault plan only enters the digest when non-zero: clean-run keys
+	// stay byte-stable across the feature's introduction (committed
+	// recordings and warm caches keep hitting), while any injected fault
+	// schedule yields a distinct key.
+	if !s.Faults.IsZero() {
+		fmt.Fprintf(h, "faults %#v\n", s.Faults)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -174,7 +182,8 @@ func (Simulator) Name() string { return "sim" }
 // system.
 func (Simulator) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	res, err := lustre.Run(ctx, spec.Workload, lustre.Options{
-		Spec: spec.Spec, Config: spec.Config, Seed: spec.Seed, Trace: spec.Trace,
+		Spec: spec.Spec, Config: spec.Config, Seed: spec.Seed,
+		Faults: spec.Faults, Trace: spec.Trace,
 	})
 	if err != nil {
 		return nil, err

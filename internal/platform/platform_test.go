@@ -84,6 +84,75 @@ func TestKeyIsStableAndContentAddressed(t *testing.T) {
 	}
 }
 
+// TestFaultPlanKeying pins the cache-identity contract for fault injection:
+// a zero plan hashes exactly like the pre-fault RunSpec (committed
+// recordings and warm caches stay valid), while any non-zero plan — and any
+// change to one — produces a distinct key.
+func TestFaultPlanKeying(t *testing.T) {
+	clean := testRunSpec(t, 7)
+	explicitZero := testRunSpec(t, 7)
+	explicitZero.Faults = lustre.FaultPlan{}
+	if clean.Key() != explicitZero.Key() {
+		t.Fatal("explicit zero fault plan changed the key")
+	}
+
+	faulted := testRunSpec(t, 7)
+	faulted.Faults = lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	if faulted.Key() == clean.Key() {
+		t.Fatal("faulted spec shares the clean spec's key")
+	}
+	same := testRunSpec(t, 7)
+	same.Faults = lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	if same.Key() != faulted.Key() {
+		t.Fatal("identical fault plans produced different keys")
+	}
+
+	otherSeed := testRunSpec(t, 7)
+	otherSeed.Faults = lustre.FaultPlan{Seed: 43, Severity: 0.6}
+	if otherSeed.Key() == faulted.Key() {
+		t.Fatal("changing the fault seed did not change the key")
+	}
+	explicit := testRunSpec(t, 7)
+	explicit.Faults = lustre.FaultPlan{OSTs: []lustre.OSTFault{
+		{OST: 0, Factor: 0, Window: lustre.Window{Start: 0.01, Duration: 0.02, Period: 0.1}},
+	}}
+	if explicit.Key() == faulted.Key() || explicit.Key() == clean.Key() {
+		t.Fatal("explicit window plan collided with another key")
+	}
+}
+
+// TestSimulatorAppliesFaults checks the plan actually reaches the model
+// through the Platform seam: the faulted platform run must equal a direct
+// faulted lustre.Run and must diverge from the clean run.
+func TestSimulatorAppliesFaults(t *testing.T) {
+	spec := testRunSpec(t, 3)
+	spec.Faults = lustre.FaultPlan{Seed: 42, Severity: 0.6}
+	direct, err := lustre.Run(context.Background(), spec.Workload, lustre.Options{
+		Spec: spec.Spec, Config: spec.Config, Seed: spec.Seed, Faults: spec.Faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPlatform, err := Simulator{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaPlatform.Result) {
+		t.Fatal("faulted platform run diverged from direct lustre.Run")
+	}
+	if direct.FaultStalls == 0 {
+		t.Fatal("canonical seeded plan never engaged on the test spec")
+	}
+	clean := testRunSpec(t, 3)
+	cleanRes, err := Simulator{}.Run(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanRes.WallTime == viaPlatform.WallTime {
+		t.Fatal("fault plan did not perturb the wall time")
+	}
+}
+
 func TestSimulatorMatchesDirectRun(t *testing.T) {
 	spec := testRunSpec(t, 3)
 	direct, err := lustre.Run(context.Background(), spec.Workload, lustre.Options{

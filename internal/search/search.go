@@ -54,11 +54,27 @@ type Objective interface {
 //     look good on average but stall individual runs.
 //   - "composite": MeanWeight*mean + TailWeight*worst + CIWeight*ci90, a
 //     weighted composite indicator over the three measurement statistics.
+//   - "robust": CleanWeight*mean(clean) + FaultWeight*max over fault
+//     variants of mean(variant) — scores a candidate across a clean run
+//     plus Perturbations faulted variants, so the winner must hold up under
+//     injected degradation, not just on a healthy cluster. The measurement
+//     series must be the concatenation PerturbedEval produces.
 type ObjectiveSpec struct {
 	Kind       string  `json:"kind,omitempty"`
 	MeanWeight float64 `json:"mean_weight,omitempty"`
 	TailWeight float64 `json:"tail_weight,omitempty"`
 	CIWeight   float64 `json:"ci_weight,omitempty"`
+
+	// CleanWeight and FaultWeight balance the robust objective; both zero
+	// means an even 0.5/0.5 split.
+	CleanWeight float64 `json:"clean_weight,omitempty"`
+	FaultWeight float64 `json:"fault_weight,omitempty"`
+
+	// Perturbations is the fault-variant count K the robust objective
+	// splits its series by. It is orchestration state, not a client knob:
+	// the serving layer and CLI derive it from their fault-variants setting,
+	// so it stays off the wire.
+	Perturbations int `json:"-"`
 }
 
 // Build compiles the spec into an Objective, rejecting unknown kinds and
@@ -77,8 +93,20 @@ func (s ObjectiveSpec) Build() (Objective, error) {
 			return nil, fmt.Errorf("search: composite objective needs at least one positive weight")
 		}
 		return compositeObjective{mean: s.MeanWeight, tail: s.TailWeight, ci: s.CIWeight}, nil
+	case "robust":
+		if s.CleanWeight < 0 || s.FaultWeight < 0 {
+			return nil, fmt.Errorf("search: robust weights must be >= 0")
+		}
+		clean, fault := s.CleanWeight, s.FaultWeight
+		if clean+fault == 0 {
+			clean, fault = 0.5, 0.5
+		}
+		if s.Perturbations < 1 {
+			return nil, fmt.Errorf("search: robust objective needs at least 1 fault variant")
+		}
+		return robustObjective{variants: s.Perturbations, clean: clean, fault: fault}, nil
 	default:
-		return nil, fmt.Errorf("search: unknown objective kind %q (want mean, tail, or composite)", s.Kind)
+		return nil, fmt.Errorf("search: unknown objective kind %q (want mean, tail, composite, or robust)", s.Kind)
 	}
 }
 
@@ -103,6 +131,67 @@ func (o compositeObjective) Name() string {
 }
 func (o compositeObjective) Score(walls []float64, sum stats.Summary) float64 {
 	return o.mean*sum.Mean + o.tail*worst(walls) + o.ci*sum.CI90
+}
+
+// robustObjective scores a concatenated clean-plus-faulted series: the
+// walls slice is variants+1 equal chunks in variant order (chunk 0 clean,
+// as produced by PerturbedEval), and the score is clean*mean(chunk 0) +
+// fault*max over fault chunks of mean(chunk) — the worst-case fault variant
+// dominates, so a configuration cannot win by excelling under one fault
+// schedule while collapsing under another.
+type robustObjective struct {
+	variants     int
+	clean, fault float64
+}
+
+func (o robustObjective) Name() string {
+	return fmt.Sprintf("robust(clean*%g+fault*%g, %d variants)", o.clean, o.fault, o.variants)
+}
+
+func (o robustObjective) Score(walls []float64, sum stats.Summary) float64 {
+	chunks := o.variants + 1
+	if len(walls) < chunks || len(walls)%chunks != 0 {
+		// Not a PerturbedEval series (e.g. a caller wired the objective to a
+		// plain eval): degrade to the mean rather than mis-slicing.
+		return sum.Mean
+	}
+	per := len(walls) / chunks
+	mean := func(c int) float64 {
+		total := 0.0
+		for _, v := range walls[c*per : (c+1)*per] {
+			total += v
+		}
+		return total / float64(per)
+	}
+	worstFault := math.Inf(-1)
+	for c := 1; c < chunks; c++ {
+		if m := mean(c); m > worstFault {
+			worstFault = m
+		}
+	}
+	return o.clean*mean(0) + o.fault*worstFault
+}
+
+// PerturbedEval builds the EvalFunc a robust search runs on: for each
+// candidate it measures variant 0 (clean) through variant K under
+// variantEval and returns the concatenated wall series — fixed variant
+// order, reps repetitions per variant — which is exactly the layout
+// robustObjective scores. The summary spans the whole series.
+func PerturbedEval(variants int, variantEval func(ctx context.Context, workload string, cfg params.Config, reps int, seedBase int64, variant int) ([]float64, error)) EvalFunc {
+	return func(ctx context.Context, workload string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+		all := make([]float64, 0, (variants+1)*reps)
+		for v := 0; v <= variants; v++ {
+			walls, err := variantEval(ctx, workload, cfg, reps, seedBase, v)
+			if err != nil {
+				return nil, stats.Summary{}, fmt.Errorf("fault variant %d: %w", v, err)
+			}
+			if len(walls) != reps {
+				return nil, stats.Summary{}, fmt.Errorf("fault variant %d: %d walls, want %d", v, len(walls), reps)
+			}
+			all = append(all, walls...)
+		}
+		return all, stats.Summarize(all), nil
+	}
 }
 
 func worst(walls []float64) float64 {

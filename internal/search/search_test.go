@@ -142,6 +142,122 @@ func TestObjectives(t *testing.T) {
 	}
 }
 
+func TestRobustObjective(t *testing.T) {
+	// Three variants' worth of series (clean + 2 faults), 2 reps each:
+	// clean mean 2, fault means 5 and 8 — worst fault chunk dominates.
+	walls := []float64{1, 3, 4, 6, 7, 9}
+	sum := stats.Summarize(walls)
+	obj, err := ObjectiveSpec{Kind: "robust", Perturbations: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := obj.Score(walls, sum), 0.5*2+0.5*8; got != want {
+		t.Errorf("robust score = %g, want %g", got, want)
+	}
+	if !strings.Contains(obj.Name(), "robust") || !strings.Contains(obj.Name(), "2 variants") {
+		t.Errorf("robust name = %q", obj.Name())
+	}
+	weighted, err := ObjectiveSpec{Kind: "robust", Perturbations: 2, CleanWeight: 1, FaultWeight: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := weighted.Score(walls, sum), 1*2.0+3*8.0; got != want {
+		t.Errorf("weighted robust score = %g, want %g", got, want)
+	}
+	// A series that is not variants+1 equal chunks degrades to the mean.
+	odd := []float64{1, 2, 3, 4, 5}
+	if got := obj.Score(odd, stats.Summarize(odd)); got != 3 {
+		t.Errorf("non-chunked robust score = %g, want mean 3", got)
+	}
+	if _, err := (ObjectiveSpec{Kind: "robust"}).Build(); err == nil {
+		t.Error("robust objective without variants accepted")
+	}
+	if _, err := (ObjectiveSpec{Kind: "robust", Perturbations: 1, CleanWeight: -1}).Build(); err == nil {
+		t.Error("negative robust weight accepted")
+	}
+}
+
+// TestPerturbedEvalRobustSearch runs a whole search on a PerturbedEval
+// whose variants punish configurations differently: one parameter helps the
+// clean run but collapses under the fault variants, so the robust winner
+// must differ from the plain-mean winner over the identical pool.
+func TestPerturbedEvalRobustSearch(t *testing.T) {
+	const variants = 2
+	variantEval := func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64, v int) ([]float64, error) {
+		walls := make([]float64, reps)
+		rpcs := cfg["osc.max_rpcs_in_flight"]
+		for i := range walls {
+			w := 100.0 - float64(rpcs%97)*0.2 // more RPCs = faster when healthy
+			if v > 0 {
+				// Under faults, high RPC concurrency amplifies retry storms.
+				w = 100.0 + float64(rpcs%97)*0.5 + float64(v)
+			}
+			walls[i] = w + float64((seedBase+int64(i)*101)%7)*0.001
+		}
+		return walls, nil
+	}
+	eval := PerturbedEval(variants, variantEval)
+
+	walls, sum, err := eval(context.Background(), "IOR_16M", params.Config{"osc.max_rpcs_in_flight": 8}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walls) != (variants+1)*2 {
+		t.Fatalf("concatenated series has %d walls, want %d", len(walls), (variants+1)*2)
+	}
+	if sum.Mean <= 0 {
+		t.Fatal("summary not computed over the concatenated series")
+	}
+
+	obj, err := ObjectiveSpec{Kind: "robust", Perturbations: variants}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Workload: "IOR_16M", Candidates: 8, MinReps: 1, MaxReps: 4, Seed: 42,
+		Space: []string{"osc.max_rpcs_in_flight"}}
+
+	robustOpts := base
+	robustOpts.Objective = obj
+	robust, err := Run(context.Background(), eval, robustOpts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The robust winner minimizes the faulted worst case: it must carry a
+	// lower RPC setting than the pool's clean-run optimum (the maximum).
+	var maxRPC int64
+	pool0, err := samplePool(robustOpts.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pool0 {
+		if v := c["osc.max_rpcs_in_flight"] % 97; v > maxRPC {
+			maxRPC = v
+		}
+	}
+	if got := robust.Winner.Config["osc.max_rpcs_in_flight"] % 97; got == maxRPC {
+		t.Errorf("robust winner picked the clean-optimal rpc setting %d — fault variants ignored", got)
+	}
+
+	// Determinism: the identical robust search reproduces its round log.
+	again, err := Run(context.Background(), eval, robustOpts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(robust)
+	j2, _ := json.Marshal(again)
+	if string(j1) != string(j2) {
+		t.Errorf("robust search not deterministic:\n%s\n%s", j1, j2)
+	}
+
+	// A variant eval returning the wrong rep count is surfaced, not sliced.
+	bad := PerturbedEval(1, func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64, v int) ([]float64, error) {
+		return []float64{1}, nil
+	})
+	if _, _, err := bad(context.Background(), "IOR_16M", params.Config{}, 2, 1); err == nil {
+		t.Error("short variant series accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(context.Background(), fakeEval, Options{}, nil); err == nil {
 		t.Error("missing workload accepted")

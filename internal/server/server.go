@@ -42,6 +42,7 @@ import (
 	"stellar/internal/core"
 	"stellar/internal/experiments"
 	"stellar/internal/llm/simllm"
+	"stellar/internal/lustre"
 	"stellar/internal/params"
 	"stellar/internal/platform"
 	"stellar/internal/pool"
@@ -245,26 +246,33 @@ func (s *Server) Handler() http.Handler {
 
 // EvaluateRequest measures one configuration on one workload. Omitted reps
 // and seed fall back to the server defaults; an omitted config measures the
-// platform defaults.
+// platform defaults. Faults, when present, runs every repetition under the
+// given fault plan — the same plan and seed reproduce byte-identical
+// responses, and faulted runs are cached under distinct keys from clean
+// ones.
 type EvaluateRequest struct {
-	Workload string           `json:"workload"`
-	Config   map[string]int64 `json:"config,omitempty"`
-	Reps     int              `json:"reps,omitempty"`
-	Seed     int64            `json:"seed,omitempty"`
+	Workload string            `json:"workload"`
+	Config   map[string]int64  `json:"config,omitempty"`
+	Reps     int               `json:"reps,omitempty"`
+	Seed     int64             `json:"seed,omitempty"`
+	Faults   *lustre.FaultPlan `json:"faults,omitempty"`
 }
 
 // EvaluateResponse is the measurement summary plus the raw per-repetition
 // series. Field order is fixed, so identical requests serialize to
 // byte-identical bodies — the property the concurrency tests pin down.
+// The fault plan is echoed only when non-zero, so clean responses stay
+// byte-identical to the pre-fault wire format.
 type EvaluateResponse struct {
-	Workload     string    `json:"workload"`
-	Reps         int       `json:"reps"`
-	Seed         int64     `json:"seed"`
-	Scale        float64   `json:"scale"`
-	MeanSeconds  float64   `json:"mean_s"`
-	CI90Seconds  float64   `json:"ci90_s"`
-	WallsSeconds []float64 `json:"walls_s"`
-	Platform     string    `json:"platform"`
+	Workload     string            `json:"workload"`
+	Reps         int               `json:"reps"`
+	Seed         int64             `json:"seed"`
+	Scale        float64           `json:"scale"`
+	MeanSeconds  float64           `json:"mean_s"`
+	CI90Seconds  float64           `json:"ci90_s"`
+	WallsSeconds []float64         `json:"walls_s"`
+	Platform     string            `json:"platform"`
+	Faults       *lustre.FaultPlan `json:"faults,omitempty"`
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -295,6 +303,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg[k] = v
 	}
+	var faults lustre.FaultPlan
+	if req.Faults != nil {
+		if err := req.Faults.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		faults = *req.Faults
+	}
 
 	job := s.jobs.create("evaluate", req.Workload)
 	// The run context descends from the request (client disconnect cancels
@@ -324,7 +340,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 					err = fmt.Errorf("evaluate panicked: %v", r)
 				}
 			}()
-			return s.eng.EvaluateSeries(ctx, req.Workload, cfg, reps, seed)
+			return s.eng.EvaluateBatchFaults(ctx, req.Workload, cfg, reps, seed, faults)
 		}()
 		if err != nil {
 			runErr = err
@@ -339,6 +355,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			CI90Seconds:  sum.CI90,
 			WallsSeconds: walls,
 			Platform:     s.cache.Name(),
+		}
+		if !faults.IsZero() {
+			resp.Faults = &faults
 		}
 	})
 	if qerr != nil {
@@ -537,6 +556,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// unknownWorkloadText mirrors workload.Catalog's unknown-family error for
+// the handlers that pre-check names before building anything: typos get the
+// nearest known family named in the 400 body.
+func unknownWorkloadText(name string) string {
+	if near := workload.Nearest(name); near != "" {
+		return fmt.Sprintf("%v %q (closest known family: %q)", workload.ErrUnknown, name, near)
+	}
+	return fmt.Sprintf("%v %q", workload.ErrUnknown, name)
 }
 
 // queueErrStatus maps a queue admission error onto its HTTP status. The

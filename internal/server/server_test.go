@@ -287,6 +287,9 @@ func TestEvaluateValidation(t *testing.T) {
 		{"negative reps", `{"workload":"IOR_16M","reps":-1}`, http.StatusBadRequest},
 		{"malformed json", `{"workload":`, http.StatusBadRequest},
 		{"unknown field", `{"workload":"IOR_16M","repz":3}`, http.StatusBadRequest},
+		{"fault severity out of range", `{"workload":"IOR_16M","reps":1,"faults":{"severity":2}}`, http.StatusBadRequest},
+		{"fault window without recovery gap", `{"workload":"IOR_16M","reps":1,"faults":{"osts":[{"ost":0,"factor":0,"start":0,"duration":0.2,"period":0.1}]}}`, http.StatusBadRequest},
+		{"unknown fault field", `{"workload":"IOR_16M","reps":1,"faults":{"sev":1}}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -741,6 +744,62 @@ func TestWarmStartAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestFaultedEvaluateDeterminismAcrossRestart is the fault layer's service
+// contract, mirroring TestWarmStartAcrossRestart: the same seed and fault
+// plan produce byte-identical /v1/evaluate bodies across two server
+// processes, faulted runs are cached under keys distinct from the clean
+// run's (both simulate on a cold cache), and a restarted server re-serves
+// the faulted results from disk without re-simulating.
+func TestFaultedEvaluateDeterminismAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	faulted := `{"workload":"IOR_16M","reps":2,"seed":42,"faults":{"seed":42,"severity":0.6}}`
+	clean := `{"workload":"IOR_16M","reps":2,"seed":42}`
+
+	run := func() (faultedBody, cleanBody []byte, st runcache.Stats) {
+		s := New(Options{Scale: 0.05, CacheDir: dir})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, fb := post(t, ts.URL+"/v1/evaluate", faulted)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("faulted evaluate: HTTP %d: %s", resp.StatusCode, fb)
+		}
+		resp, cb := post(t, ts.URL+"/v1/evaluate", clean)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("clean evaluate: HTTP %d: %s", resp.StatusCode, cb)
+		}
+		return fb, cb, s.Cache().Stats()
+	}
+
+	fault1, clean1, cold := run()
+	// Distinct cache keys: the faulted and clean requests share workload,
+	// config, reps, and seed, so 4 misses (2 reps each) means the plan is
+	// part of the content address.
+	if cold.Misses != 4 {
+		t.Fatalf("cold misses = %d, want 4 (2 faulted + 2 clean reps under distinct keys)", cold.Misses)
+	}
+	if bytes.Equal(fault1, clean1) {
+		t.Fatal("faulted response identical to clean response")
+	}
+	if !bytes.Contains(fault1, []byte(`"faults"`)) {
+		t.Fatalf("faulted response does not echo the plan: %s", fault1)
+	}
+	if bytes.Contains(clean1, []byte(`"faults"`)) {
+		t.Fatalf("clean response carries a fault block: %s", clean1)
+	}
+
+	fault2, clean2, warm := run() // brand-new process over the same cache dir
+	if warm.Misses != 0 {
+		t.Fatalf("restarted server re-simulated: %d misses (%s)", warm.Misses, warm)
+	}
+	if !bytes.Equal(fault1, fault2) {
+		t.Fatalf("faulted body changed across restart:\n%s\nvs\n%s", fault1, fault2)
+	}
+	if !bytes.Equal(clean1, clean2) {
+		t.Fatalf("clean body changed across restart:\n%s\nvs\n%s", clean1, clean2)
+	}
+}
+
 // gatedPlatform blocks Run until released (then executes the real
 // simulator) and records which workloads ever reached the backend.
 type gatedPlatform struct {
@@ -987,20 +1046,80 @@ func TestTuneSearchEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTuneRobustObjective runs a small robust search over HTTP: each
+// candidate is measured on the clean cluster plus two fault variants, the
+// header echoes the fault block, and the identical request reproduces the
+// identical winner with zero new simulations.
+func TestTuneRobustObjective(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 4, Backlog: 32})
+	body := `{"workload":"IOR_16M","candidates":4,"min_reps":1,"max_reps":2,"seed":5,` +
+		`"objective":{"kind":"robust"},"faults":{"seed":42,"severity":0.6},"fault_variants":2}`
+
+	header, rounds, footer := tuneLines(t, ts.URL, body)
+	if header.Faults == nil || header.Faults.Seed != 42 || header.FaultVariants != 2 {
+		t.Fatalf("header does not echo the fault setup: %+v", header)
+	}
+	if !strings.Contains(header.Objective, "robust") {
+		t.Fatalf("objective = %q, want robust", header.Objective)
+	}
+	if footer.Error != "" || footer.Cancelled {
+		t.Fatalf("footer = %+v", footer)
+	}
+	if len(rounds) != footer.Rounds || len(footer.Winner.Config) == 0 {
+		t.Fatalf("rounds %d (footer %d), winner %+v", len(rounds), footer.Rounds, footer.Winner)
+	}
+	// Each evaluation concatenates clean + 2 fault variants.
+	if want := footer.Winner.Reps * 3; len(footer.Winner.WallsSeconds) != want {
+		t.Fatalf("winner series has %d walls, want %d (3 variants x %d reps)",
+			len(footer.Winner.WallsSeconds), want, footer.Winner.Reps)
+	}
+
+	before := s.Cache().Stats()
+	header2, _, footer2 := tuneLines(t, ts.URL, body)
+	if delta := s.Cache().Stats().Delta(before); delta.Misses != 0 {
+		t.Fatalf("repeated robust search missed the cache %d times, want 0", delta.Misses)
+	}
+	if header2.FaultVariants != header.FaultVariants {
+		t.Fatalf("second header diverged: %+v vs %+v", header, header2)
+	}
+	w1, _ := json.Marshal(footer.Winner)
+	w2, _ := json.Marshal(footer2.Winner)
+	if !bytes.Equal(w1, w2) {
+		t.Fatalf("robust winners differ:\n%s\n%s", w1, w2)
+	}
+
+	// A single-plan (non-robust) faulted tune also works and caches under
+	// the fault-keyed runs the robust search already paid for variant 1.
+	single := `{"workload":"IOR_16M","candidates":4,"min_reps":1,"max_reps":2,"seed":5,` +
+		`"faults":{"seed":42,"severity":0.6}}`
+	h3, _, f3 := tuneLines(t, ts.URL, single)
+	if h3.Faults == nil || h3.FaultVariants != 0 {
+		t.Fatalf("single-plan header = %+v", h3)
+	}
+	if f3.Error != "" || len(f3.Winner.Config) == 0 {
+		t.Fatalf("single-plan footer = %+v", f3)
+	}
+}
+
 func TestTuneValidation(t *testing.T) {
 	_, ts := newTestServer(t, Options{MaxReps: 8, MaxTuneCandidates: 16})
 	for name, body := range map[string]string{
-		"missing workload":      `{}`,
-		"unknown workload":      `{"workload":"nope"}`,
-		"one candidate":         `{"workload":"IOR_16M","candidates":1}`,
-		"too many candidates":   `{"workload":"IOR_16M","candidates":17}`,
-		"eta one":               `{"workload":"IOR_16M","eta":1}`,
-		"excessive max_reps":    `{"workload":"IOR_16M","max_reps":9}`,
-		"min above max":         `{"workload":"IOR_16M","min_reps":3,"max_reps":2}`,
-		"unknown space param":   `{"workload":"IOR_16M","space":["bogus.param"]}`,
-		"read-only space":       `{"workload":"IOR_16M","space":["llite.kbytestotal"]}`,
-		"unknown objective":     `{"workload":"IOR_16M","objective":{"kind":"bogus"}}`,
-		"zero-weight composite": `{"workload":"IOR_16M","objective":{"kind":"composite"}}`,
+		"missing workload":        `{}`,
+		"unknown workload":        `{"workload":"nope"}`,
+		"one candidate":           `{"workload":"IOR_16M","candidates":1}`,
+		"too many candidates":     `{"workload":"IOR_16M","candidates":17}`,
+		"eta one":                 `{"workload":"IOR_16M","eta":1}`,
+		"excessive max_reps":      `{"workload":"IOR_16M","max_reps":9}`,
+		"min above max":           `{"workload":"IOR_16M","min_reps":3,"max_reps":2}`,
+		"unknown space param":     `{"workload":"IOR_16M","space":["bogus.param"]}`,
+		"read-only space":         `{"workload":"IOR_16M","space":["llite.kbytestotal"]}`,
+		"unknown objective":       `{"workload":"IOR_16M","objective":{"kind":"bogus"}}`,
+		"zero-weight composite":   `{"workload":"IOR_16M","objective":{"kind":"composite"}}`,
+		"robust without faults":   `{"workload":"IOR_16M","objective":{"kind":"robust"}}`,
+		"robust empty faults":     `{"workload":"IOR_16M","objective":{"kind":"robust"},"faults":{}}`,
+		"excessive variants":      `{"workload":"IOR_16M","objective":{"kind":"robust"},"faults":{"seed":1,"severity":0.5},"fault_variants":9}`,
+		"variants without robust": `{"workload":"IOR_16M","faults":{"seed":1,"severity":0.5},"fault_variants":2}`,
+		"invalid tune fault plan": `{"workload":"IOR_16M","faults":{"severity":-1}}`,
 	} {
 		resp, data := post(t, ts.URL+"/v1/tune", body)
 		if resp.StatusCode != http.StatusBadRequest {

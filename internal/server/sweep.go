@@ -117,7 +117,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !workload.Known(req.Workload) {
-		writeError(w, http.StatusBadRequest, "%v %q", workload.ErrUnknown, req.Workload)
+		writeError(w, http.StatusBadRequest, "%s", unknownWorkloadText(req.Workload))
 		return
 	}
 	reps := req.Reps

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"stellar/internal/lustre"
 	"stellar/internal/params"
 	"stellar/internal/pool"
 	"stellar/internal/runcache"
@@ -21,15 +22,22 @@ import (
 // driving every measurement through the shared run cache. Omitted knobs
 // fall back to sensible defaults; max_reps defaults to the server's
 // per-request repetition default and is bounded by MaxReps like evaluate.
+// Faults runs the whole search under a fault plan; with the "robust"
+// objective kind it is required, and each candidate is scored across the
+// clean cluster plus fault_variants seed-derived variants of the plan
+// (default 2, max 8) — the search then optimizes worst-case degraded
+// throughput alongside healthy-cluster speed.
 type TuneRequest struct {
-	Workload   string                `json:"workload"`
-	Space      []string              `json:"space,omitempty"`
-	Candidates int                   `json:"candidates,omitempty"`
-	Eta        int                   `json:"eta,omitempty"`
-	MinReps    int                   `json:"min_reps,omitempty"`
-	MaxReps    int                   `json:"max_reps,omitempty"`
-	Seed       int64                 `json:"seed,omitempty"`
-	Objective  *search.ObjectiveSpec `json:"objective,omitempty"`
+	Workload      string                `json:"workload"`
+	Space         []string              `json:"space,omitempty"`
+	Candidates    int                   `json:"candidates,omitempty"`
+	Eta           int                   `json:"eta,omitempty"`
+	MinReps       int                   `json:"min_reps,omitempty"`
+	MaxReps       int                   `json:"max_reps,omitempty"`
+	Seed          int64                 `json:"seed,omitempty"`
+	Objective     *search.ObjectiveSpec `json:"objective,omitempty"`
+	Faults        *lustre.FaultPlan     `json:"faults,omitempty"`
+	FaultVariants int                   `json:"fault_variants,omitempty"`
 }
 
 // TuneHeader is the first NDJSON line of a tune response: the fully
@@ -46,6 +54,10 @@ type TuneHeader struct {
 	MaxReps    int      `json:"max_reps"`
 	Seed       int64    `json:"seed"`
 	Scale      float64  `json:"scale"`
+	// Fault fields appear only on faulted searches, keeping clean headers
+	// byte-identical to the pre-fault wire format.
+	Faults        *lustre.FaultPlan `json:"faults,omitempty"`
+	FaultVariants int               `json:"fault_variants,omitempty"`
 }
 
 // TuneRound is one streamed successive-halving round: the surviving
@@ -98,7 +110,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !workload.Known(req.Workload) {
-		writeError(w, http.StatusBadRequest, "%v %q", workload.ErrUnknown, req.Workload)
+		writeError(w, http.StatusBadRequest, "%s", unknownWorkloadText(req.Workload))
 		return
 	}
 	for _, name := range req.Space {
@@ -130,10 +142,38 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "min_reps must be in [1, %d], got %d", maxReps, req.MinReps)
 		return
 	}
+	robust := req.Objective != nil && req.Objective.Kind == "robust"
+	var faults lustre.FaultPlan
+	if req.Faults != nil {
+		if err := req.Faults.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		faults = *req.Faults
+	}
+	variants := req.FaultVariants
+	if robust {
+		if req.Faults == nil || faults.IsZero() {
+			writeError(w, http.StatusBadRequest, "the robust objective requires a non-empty fault plan (faults)")
+			return
+		}
+		if variants == 0 {
+			variants = 2
+		}
+		if variants < 1 || variants > 8 {
+			writeError(w, http.StatusBadRequest, "fault_variants must be in [1, 8], got %d", req.FaultVariants)
+			return
+		}
+	} else if req.FaultVariants != 0 {
+		writeError(w, http.StatusBadRequest, "fault_variants requires the robust objective kind")
+		return
+	}
 	var objective search.Objective
 	if req.Objective != nil {
+		spec := *req.Objective
+		spec.Perturbations = variants
 		var err error
-		if objective, err = req.Objective.Build(); err != nil {
+		if objective, err = spec.Build(); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -180,17 +220,23 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	before := s.cache.Stats()
 	last := before
 	t0 := time.Now()
-	writeLine(TuneHeader{
+	hdr := TuneHeader{
 		Job: job.id, Workload: opts.Workload, Objective: opts.Objective.Name(),
 		Space: opts.Space, Candidates: opts.Candidates, Eta: opts.Eta,
 		MinReps: opts.MinReps, MaxReps: opts.MaxReps,
 		Seed: opts.Seed, Scale: s.opts.Scale,
-	})
+	}
+	if !faults.IsZero() {
+		hdr.Faults = &faults
+		hdr.FaultVariants = variants
+	}
+	writeLine(hdr)
 
 	// Each candidate evaluation is one blocking queue task; the search's
 	// per-round fan-out parks on DoWait until workers free up, exactly like
-	// sweep cells.
-	eval := func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+	// sweep cells. Every measurement runs under the request's fault plan
+	// (the zero plan is a healthy cluster).
+	runEval := func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64, plan lustre.FaultPlan) ([]float64, stats.Summary, error) {
 		var (
 			walls  []float64
 			sum    stats.Summary
@@ -207,13 +253,26 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 						err = fmt.Errorf("tune evaluation panicked: %v", r)
 					}
 				}()
-				return s.eng.EvaluateSeries(ctx, wl, cfg, reps, seedBase)
+				return s.eng.EvaluateBatchFaults(ctx, wl, cfg, reps, seedBase, plan)
 			}()
 		})
 		if qerr != nil {
 			return nil, stats.Summary{}, qerr
 		}
 		return walls, sum, runErr
+	}
+	eval := func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64) ([]float64, stats.Summary, error) {
+		return runEval(ctx, wl, cfg, reps, seedBase, faults)
+	}
+	if robust {
+		// Variant 0 is the clean cluster, 1 the requested plan, 2..K
+		// seed-derived siblings; each candidate's series concatenates them
+		// in that fixed order for the robust objective to score.
+		plans := faults.Variants(variants)
+		eval = search.PerturbedEval(variants, func(ctx context.Context, wl string, cfg params.Config, reps int, seedBase int64, v int) ([]float64, error) {
+			walls, _, err := runEval(ctx, wl, cfg, reps, seedBase, plans[v])
+			return walls, err
+		})
 	}
 
 	res, runErr := search.Run(rctx, eval, opts, func(rd search.Round) {

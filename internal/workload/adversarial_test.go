@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAdversarialFamiliesRegistered(t *testing.T) {
+	for _, name := range Adversarial() {
+		if !Known(name) {
+			t.Fatalf("family %q not in catalog", name)
+		}
+		w, err := Catalog(name, 8, 0.1)
+		if err != nil {
+			t.Fatalf("Catalog(%q): %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if w.Name != name {
+			t.Fatalf("workload name %q, want %q", w.Name, name)
+		}
+	}
+}
+
+// TestReplaySemantics checks Replay against a minimal synthetic trace: the
+// generated stream must preserve sharing, direction, and sequentiality
+// structure, and survive the degenerate scale floor.
+func TestReplaySemantics(t *testing.T) {
+	spec := TraceSpec{
+		Name:  "synthetic",
+		Procs: 4,
+		Files: []TraceFile{
+			{Writes: 40, BytesWritten: 40 << 20, SeqWrites: 40, Shared: true},
+			{Reads: 16, BytesRead: 16 << 10, SeqReads: 0},
+			{Stats: 8, Unlinks: 1, Writes: 2, BytesWritten: 2 << 10},
+		},
+	}
+	for _, tc := range []struct {
+		ranks int
+		scale float64
+	}{{8, 1.0}, {3, 0.25}, {1, 0.001}} {
+		w := Replay(spec, tc.ranks, tc.scale)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("ranks %d scale %g: %v", tc.ranks, tc.scale, err)
+		}
+		if w.NumRanks() != tc.ranks {
+			t.Fatalf("ranks %d scale %g: got %d ranks", tc.ranks, tc.scale, w.NumRanks())
+		}
+		read, written := w.TotalBytes()
+		if written == 0 {
+			t.Fatalf("ranks %d scale %g: trace has writes but replay wrote nothing", tc.ranks, tc.scale)
+		}
+		if read == 0 {
+			t.Fatalf("ranks %d scale %g: trace has reads but replay read nothing", tc.ranks, tc.scale)
+		}
+		if !w.Files[0].Shared || w.Files[1].Shared {
+			t.Fatalf("sharing flags lost: %+v", w.Files[:2])
+		}
+		// The shared sequential file's writes must land once per rank; the
+		// private files must stay on a single rank.
+		writersOfPrivate := map[int]bool{}
+		for ri, ops := range w.Ranks {
+			for _, op := range ops {
+				if op.Type == OpWrite && op.File == 2 {
+					writersOfPrivate[ri] = true
+				}
+			}
+		}
+		if len(writersOfPrivate) > 1 {
+			t.Fatalf("private trace file written by %d ranks", len(writersOfPrivate))
+		}
+	}
+}
+
+// TestReplayDeterministic pins the generator as a pure function of its
+// inputs (the op streams double as cache-key material via the workload
+// digest, so any nondeterminism would fracture the content-addressed
+// cache).
+func TestReplayDeterministic(t *testing.T) {
+	a := DarshanReplay(8, 0.1)
+	b := DarshanReplay(8, 0.1)
+	if a.TotalOps() != b.TotalOps() {
+		t.Fatalf("op counts differ: %d vs %d", a.TotalOps(), b.TotalOps())
+	}
+	for r := range a.Ranks {
+		for i := range a.Ranks[r] {
+			if a.Ranks[r][i] != b.Ranks[r][i] {
+				t.Fatalf("rank %d op %d differs: %+v vs %+v", r, i, a.Ranks[r][i], b.Ranks[r][i])
+			}
+		}
+	}
+}
+
+// TestMultitenantStructure checks the role-rotation invariants: barrier
+// balance at the degenerate scale floor, every tenant writing in some
+// phase, and metadata churn confined to the tenant directories.
+func TestMultitenantStructure(t *testing.T) {
+	for _, tc := range []struct {
+		ranks int
+		scale float64
+	}{{12, 0.25}, {2, 0.001}, {1, 0.001}, {50, 0.05}} {
+		w := Multitenant(tc.ranks, tc.scale)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("ranks %d scale %g: %v", tc.ranks, tc.scale, err)
+		}
+		// Every rank must both write and issue metadata ops across the
+		// rotation (each tenant holds every role once over three phases)...
+		if tc.ranks >= 3 {
+			for ri, ops := range w.Ranks {
+				var wrote, stat bool
+				for _, op := range ops {
+					switch op.Type {
+					case OpWrite:
+						wrote = true
+					case OpStat:
+						stat = true
+					}
+				}
+				if !wrote || !stat {
+					t.Fatalf("ranks %d: rank %d missed a role (wrote=%v stat=%v)", tc.ranks, ri, wrote, stat)
+				}
+			}
+		}
+		// ...and every rank carries the same barrier count.
+		want := -1
+		for ri, ops := range w.Ranks {
+			n := 0
+			for _, op := range ops {
+				if op.Type == OpBarrier {
+					n++
+				}
+			}
+			if want == -1 {
+				want = n
+			} else if n != want {
+				t.Fatalf("ranks %d scale %g: rank %d has %d barriers, rank 0 has %d",
+					tc.ranks, tc.scale, ri, n, want)
+			}
+		}
+	}
+}
+
+// TestCatalogNearestSuggestion covers the unknown-family error fix: typos
+// must name the nearest known family, garbage must stay a bare rejection.
+func TestCatalogNearestSuggestion(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		suggest string // "" = no suggestion expected
+	}{
+		{"IOR_16m", "IOR_16M"},
+		{"ior_64k", "IOR_64K"},
+		{"MDWorkbench8K", "MDWorkbench_8K"},
+		{"darshan_replay", "darshan-replay"},
+		{"multitennant", "multitenant"},
+		{"IO5000", "IO500"},
+		{"MACSio_512", "MACSio_512K"},
+		{"zzzzzzzzzzzzzzzz", ""},
+	} {
+		t.Run(tc.in, func(t *testing.T) {
+			_, err := Catalog(tc.in, 4, 0.1)
+			if err == nil {
+				t.Fatalf("Catalog(%q) unexpectedly succeeded", tc.in)
+			}
+			if !errors.Is(err, ErrUnknown) {
+				t.Fatalf("error %v does not wrap ErrUnknown", err)
+			}
+			if tc.suggest == "" {
+				if strings.Contains(err.Error(), "closest known family") {
+					t.Fatalf("unwanted suggestion in %q", err.Error())
+				}
+				if got := Nearest(tc.in); got != "" {
+					t.Fatalf("Nearest(%q) = %q, want none", tc.in, got)
+				}
+				return
+			}
+			if !strings.Contains(err.Error(), `"`+tc.suggest+`"`) {
+				t.Fatalf("error %q does not suggest %q", err.Error(), tc.suggest)
+			}
+			if got := Nearest(tc.in); got != tc.suggest {
+				t.Fatalf("Nearest(%q) = %q, want %q", tc.in, got, tc.suggest)
+			}
+		})
+	}
+}

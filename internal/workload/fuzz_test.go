@@ -7,10 +7,12 @@ import (
 
 // families are the five workload generators of the paper's evaluation
 // (IOR, MDWorkbench, IO500, AMReX, MACSio) across their catalog variants,
-// plus the Figure 1 extras, so the fuzzer reaches every generator path.
+// plus the Figure 1 extras and the adversarial families (Darshan-trace
+// replay, multi-tenant mixes), so the fuzzer reaches every generator path.
 func families() []string {
 	names := append(append([]string{}, Benchmarks()...), RealApps()...)
-	return append(names, Extras()...)
+	names = append(names, Extras()...)
+	return append(names, Adversarial()...)
 }
 
 // FuzzWorkloadValidate is a property test over the whole workload catalog:
@@ -29,10 +31,13 @@ func FuzzWorkloadValidate(f *testing.F) {
 		f.Add(uint8(fam), uint16(8), DefaultScale)
 		f.Add(uint8(fam), uint16(3), 1.0)
 	}
-	f.Add(uint8(0), uint16(1), 0.5)    // single rank
-	f.Add(uint8(4), uint16(64), 0.02)  // wide job (IO500)
-	f.Add(uint8(2), uint16(2), 0.001)  // metadata family at the degenerate floor
-	f.Add(uint8(7), uint16(1), 0.0015) // single rank, just above the floor
+	f.Add(uint8(0), uint16(1), 0.5)     // single rank
+	f.Add(uint8(4), uint16(64), 0.02)   // wide job (IO500)
+	f.Add(uint8(2), uint16(2), 0.001)   // metadata family at the degenerate floor
+	f.Add(uint8(7), uint16(1), 0.0015)  // single rank, just above the floor
+	f.Add(uint8(10), uint16(1), 0.001)  // darshan-replay, one rank at the floor
+	f.Add(uint8(11), uint16(2), 0.001)  // multitenant with fewer ranks than tenants
+	f.Add(uint8(11), uint16(63), 0.001) // multitenant, uneven tenant partition
 
 	f.Fuzz(func(t *testing.T, fam uint8, ranks uint16, scale float64) {
 		names := families()

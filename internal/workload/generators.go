@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 )
 
 // ErrUnknown marks Catalog failures for names outside the workload catalog,
@@ -452,6 +454,8 @@ var catalog = map[string]func(ranks int, scale float64) *Workload{
 	"MACSio_16M":     MACSio16M,
 	"E3SM":           E3SM,
 	"H5Bench":        H5Bench,
+	"darshan-replay": DarshanReplay,
+	"multitenant":    Multitenant,
 }
 
 // Catalog returns the named workload at the given rank count and scale.
@@ -459,9 +463,60 @@ var catalog = map[string]func(ranks int, scale float64) *Workload{
 func Catalog(name string, ranks int, scale float64) (*Workload, error) {
 	gen, ok := catalog[name]
 	if !ok {
+		if near := Nearest(name); near != "" {
+			return nil, fmt.Errorf("workload: %w %q (closest known family: %q)", ErrUnknown, name, near)
+		}
 		return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 	}
 	return gen(ranks, scale), nil
+}
+
+// Nearest returns the catalog name closest to name by case-insensitive edit
+// distance, or "" when nothing is close enough to plausibly be a typo (more
+// than two-thirds of the longer name would need rewriting). Serving layers
+// use it to turn a bare "unknown workload" rejection into a suggestion.
+func Nearest(name string) string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, n := range names {
+		d := editDistance(strings.ToLower(name), strings.ToLower(n))
+		if d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	limit := len(name)
+	if l := len(best); l > limit {
+		limit = l
+	}
+	if best == "" || bestDist > limit*2/3 {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Known reports whether name is in the catalog without generating the
@@ -486,4 +541,10 @@ func RealApps() []string {
 // but not part of its evaluation figures.
 func Extras() []string {
 	return []string{"E3SM", "H5Bench"}
+}
+
+// Adversarial lists the scenario-diversity families: trace-driven replay
+// and the interfering multi-tenant mix.
+func Adversarial() []string {
+	return []string{"darshan-replay", "multitenant"}
 }
