@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// expectation is one `// want "regexp"` marker from a testdata file.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// TestResult is what RunTest hands back: the unmatched expectations and the
+// unexpected diagnostics, both empty on success. The harness returns data
+// instead of taking a *testing.T so the package carries no test-only
+// machinery into the cmd/stellar-vet binary.
+type TestResult struct {
+	Missing    []string // expectations no diagnostic matched
+	Unexpected []string // diagnostics no expectation matched
+}
+
+func (r TestResult) OK() bool { return len(r.Missing) == 0 && len(r.Unexpected) == 0 }
+
+func (r TestResult) String() string {
+	var b strings.Builder
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "missing diagnostic: %s\n", m)
+	}
+	for _, u := range r.Unexpected {
+		fmt.Fprintf(&b, "unexpected diagnostic: %s\n", u)
+	}
+	return b.String()
+}
+
+// RunTest loads the named package paths from dir/src, runs the analyzer, and
+// checks its diagnostics against `// want "regexp"` comments in the sources,
+// in the style of golang.org/x/tools/go/analysis/analysistest. A want
+// comment applies to its own line; several quoted regexps may follow one
+// want, for lines that draw multiple findings. Every diagnostic must be
+// wanted and every want must be matched by a diagnostic on its line.
+func RunTest(dir string, analyzer *Analyzer, paths ...string) (TestResult, error) {
+	pkgs, err := LoadTestdata(dir, paths...)
+	if err != nil {
+		return TestResult{}, err
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{analyzer})
+	if err != nil {
+		return TestResult{}, err
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			w, err := collectWants(pkg.Fset, f)
+			if err != nil {
+				return TestResult{}, err
+			}
+			wants = append(wants, w...)
+		}
+	}
+
+	var res TestResult
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.Unexpected = append(res.Unexpected, d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			res.Missing = append(res.Missing,
+				fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw))
+		}
+	}
+	return res, nil
+}
+
+// collectWants extracts `// want "re" "re2"` expectations from a parsed
+// file's comments. The marker may open the comment or follow other text
+// (so a //stellar: annotation and its expectation can share a line), and
+// quoted strings use Go syntax so patterns may contain spaces and escapes.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			var rest string
+			switch {
+			case strings.HasPrefix(text, "want "):
+				rest = strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			default:
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest = strings.TrimSpace(text[i+len("// want "):])
+			}
+			pos := fset.Position(c.Pos())
+			if rest == "" {
+				return nil, fmt.Errorf("%s: want comment with no pattern", pos)
+			}
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				q, err := scanQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				raw, err := strconv.Unquote(rest[:q])
+				if err != nil {
+					return nil, fmt.Errorf("%s: unquoting %s: %v", pos, rest[:q], err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s: compiling %q: %v", pos, raw, err)
+				}
+				wants = append(wants, &expectation{
+					file: pos.Filename, line: pos.Line, re: re, raw: raw,
+				})
+				rest = strings.TrimSpace(rest[q:])
+			}
+		}
+	}
+	return wants, nil
+}
+
+// scanQuoted returns the length of the leading Go-quoted string in s.
+func scanQuoted(s string) (int, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++
+			}
+		case quote:
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated quoted string in want comment")
+}

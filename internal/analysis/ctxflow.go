@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract PR 1–2 threaded through the
+// stack: a SIGINT (or a disconnected HTTP client) must be able to unwind
+// any blocking operation, which is only true if contexts flow from the edge
+// down. Two rules:
+//
+//   - An exported function in a non-cmd package that blocks (channel send
+//     or receive, select without default, ranging over a channel,
+//     time.Sleep) must take a context.Context, and as its first parameter.
+//     Any exported function with a context parameter must put it first.
+//   - context.Background() and context.TODO() synthesize fresh roots that
+//     sever that flow, so they are confined to program edges — cmd packages
+//     and any package main, which is where the signal-handling root
+//     genuinely begins (examples/ are mains too). A documented convenience
+//     wrapper elsewhere opts out with //stellar:allow-background on its doc
+//     comment.
+//
+// Tests are outside the loaded file set and exempt by construction.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported blocking functions thread a context.Context first; Background/TODO confined to cmd packages",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	inCmd := pathHasSegment(pass.Pkg.Path(), "cmd") || pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			allowBG := hasMarker(fd.Doc, "allow-background")
+			if !inCmd && !allowBG {
+				checkBackground(pass, fd)
+			}
+			if !inCmd {
+				checkBlockingSignature(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBackground flags context.Background/TODO calls anywhere in fd,
+// including closures it defines.
+func checkBackground(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || funcPkgPath(fn) != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(),
+				"context.%s severs cancellation outside cmd packages: accept a context.Context from the caller, or annotate a documented wrapper with //stellar:allow-background",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// checkBlockingSignature applies the exported-function parameter rules.
+func checkBlockingSignature(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if isServeHTTP(fd, sig) {
+		return // net/http fixes this shape; the ctx rides on *Request
+	}
+	ctxIdx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			ctxIdx = i
+			break
+		}
+	}
+	if ctxIdx > 0 {
+		pass.Reportf(fd.Name.Pos(),
+			"%s takes a context.Context in position %d: contexts go first so call sites read uniformly",
+			fd.Name.Name, ctxIdx+1)
+		return
+	}
+	if ctxIdx == -1 && blocksDirectly(pass, fd.Body) {
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s blocks (channel operation or sleep) without accepting a context.Context; a cancelled caller cannot unwind it",
+			fd.Name.Name)
+	}
+}
+
+// isServeHTTP matches the http.Handler method shape.
+func isServeHTTP(fd *ast.FuncDecl, sig *types.Signature) bool {
+	if fd.Name.Name != "ServeHTTP" || sig.Params().Len() != 2 {
+		return false
+	}
+	p0, ok := sig.Params().At(0).Type().(*types.Named)
+	return ok && p0.Obj().Name() == "ResponseWriter"
+}
+
+// blocksDirectly reports whether the body itself can block. Function
+// literals are skipped: work launched onto another goroutine blocks that
+// goroutine, not the caller — and the launch sites that matter (pool.Map,
+// pool.Queue) already take contexts.
+func blocksDirectly(pass *Pass, body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				blocking = true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocking = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil &&
+				funcPkgPath(fn) == "time" && fn.Name() == "Sleep" {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	return blocking
+}

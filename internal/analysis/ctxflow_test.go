@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+// TestCtxFlow covers blocking-without-context, context-not-first, and
+// Background-outside-cmd, plus the negatives: the //stellar:allow-background
+// wrapper, an unexported blocking helper, a correctly-threaded Drain, and a
+// cmd package where everything is legal.
+func TestCtxFlow(t *testing.T) {
+	res, err := RunTest("testdata", CtxFlow, "flow/inner", "cmd/flowtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("\n" + res.String())
+	}
+}

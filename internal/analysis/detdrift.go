@@ -1,0 +1,501 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetDrift enforces the determinism contract the golden-replay and
+// content-addressed caching layers rest on: inside determinism-critical
+// packages, simulation results must be a pure function of (workload, config,
+// seed). Four sources of drift are rejected:
+//
+//   - wall clocks: time.Now and time.Since;
+//   - the process-global math/rand generator (top-level rand.Intn etc.);
+//     explicitly seeded *rand.Rand values remain legal, as do the
+//     constructors that build them;
+//   - iteration over maps whose loop body the analyzer cannot prove
+//     order-independent (Go randomizes map order per run);
+//   - goroutine launches outside internal/pool, whose bounded fan-out is
+//     the one place scheduling nondeterminism is provably contained.
+//
+// A map loop that is order-independent for reasons beyond the prover can be
+// annotated with //stellar:order-independent on the line above it; the
+// annotation is verified load-bearing (see annotations.go).
+var DetDrift = &Analyzer{
+	Name: "detdrift",
+	Doc:  "forbid wall clocks, global rand, unordered map iteration, and stray goroutines in determinism-critical packages",
+	Run:  runDetDrift,
+}
+
+// detCriticalPkgs are the last path segments of the packages whose outputs
+// feed golden replays, cache keys, or recorded transcripts. llm is included
+// because recorded LLM exchanges are replayed byte-for-byte.
+var detCriticalPkgs = map[string]bool{
+	"sim":      true,
+	"lustre":   true,
+	"workload": true,
+	"search":   true,
+	"darshan":  true,
+	"stats":    true,
+	"llm":      true,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// seeded generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetDrift(pass *Pass) error {
+	if !detCriticalPkgs[lastSegment(pass.Pkg.Path())] {
+		return nil
+	}
+	suppress := collectMarkers(pass, "order-independent")
+
+	for _, file := range pass.Files {
+		var curFunc *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				curFunc = n
+			case *ast.CallExpr:
+				checkDriftCall(pass, n)
+			case *ast.GoStmt:
+				if lastSegment(pass.Pkg.Path()) != "pool" {
+					pass.Reportf(n.Pos(),
+						"goroutine launched outside internal/pool: scheduling order is nondeterministic; fan out through pool.Map or pool.Queue")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, curFunc, suppress)
+			}
+			return true
+		})
+	}
+	suppress.reportUnused()
+	return nil
+}
+
+// checkDriftCall flags wall-clock reads and global-rand draws.
+func checkDriftCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	switch funcPkgPath(fn) {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in a determinism-critical package: results must be a pure function of (workload, config, seed); inject a clock from cmd wiring instead",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if recvNamed(fn) != nil {
+			return // method on an explicitly seeded *rand.Rand: legal
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global math/rand.%s draws from process-global state: use an explicitly seeded *rand.Rand",
+			fn.Name())
+	}
+}
+
+// checkMapRange proves (or fails to prove) that a `for ... range m` over a
+// map has an order-independent body, honoring suppression annotations.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn *ast.FuncDecl, suppress *markers) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := &orderChecker{pass: pass, rs: rs, fn: fn}
+	c.keyObj = rangeVarObj(pass.Info, rs.Key)
+	c.valObj = rangeVarObj(pass.Info, rs.Value)
+	ok = c.blockOK(rs.Body)
+	if ok {
+		ok = c.resolveSorts()
+	}
+	if mk := suppress.at(rs.Pos()); mk != nil {
+		if !ok {
+			mk.used = true // load-bearing: it silences a real finding
+		}
+		return
+	}
+	if !ok {
+		pass.Reportf(rs.Pos(),
+			"map iteration order is nondeterministic and the loop body is not provably order-independent (%s); iterate sorted keys, restructure, or annotate with //stellar:order-independent",
+			c.reason)
+	}
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// orderChecker proves a map-range body order-independent with a small,
+// conservative effect system. A body passes when its only effects on state
+// declared outside the loop are commutative-and-associative accumulations
+// (integer/bitwise compound assignment, math.Max/Min and min/max folds,
+// boolean or/and folds), writes to maps or slices indexed by the loop key
+// (distinct per iteration), deletes keyed the same way, and appends to
+// local slices that a later statement in the same function sorts. Local
+// computation — declarations, writes to body-scoped variables, calls on
+// body-scoped receivers, and package-level function calls — is permitted.
+//
+// The prover is deliberately a heuristic: package-level calls are assumed
+// free of order-observable effects, and mutation of outer state through
+// call arguments is not tracked. It exists to catch the drift patterns that
+// actually occur (last-writer-wins assignments, unsorted key collection,
+// floating-point accumulation whose rounding depends on order), not to be a
+// sound escape analysis; //stellar:order-independent covers what it cannot
+// see.
+type orderChecker struct {
+	pass   *Pass
+	rs     *ast.RangeStmt
+	fn     *ast.FuncDecl
+	keyObj types.Object
+	valObj types.Object
+	reason string
+
+	// pendingSort are outer slices accumulated via x = append(x, ...) that
+	// must be sorted after the loop for the accumulation to be
+	// order-independent.
+	pendingSort []types.Object
+}
+
+func (c *orderChecker) fail(pos token.Pos, reason string) bool {
+	if c.reason == "" {
+		c.reason = reason
+	}
+	return false
+}
+
+// isLocal reports whether obj is declared inside the loop (body or header):
+// per-iteration state whose mutation cannot observe iteration order.
+func (c *orderChecker) isLocal(obj types.Object) bool {
+	if obj == nil {
+		return true
+	}
+	if obj == c.keyObj || obj == c.valObj {
+		return true
+	}
+	return obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End()
+}
+
+func (c *orderChecker) identLocal(id *ast.Ident) bool {
+	if id.Name == "_" {
+		return true
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	return c.isLocal(obj)
+}
+
+// rootLocal reports whether the expression is rooted at loop-local state.
+// Non-ident roots (call results, composite literals) count as local: the
+// value was produced this iteration.
+func (c *orderChecker) rootLocal(e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return true
+	}
+	return c.identLocal(id)
+}
+
+func (c *orderChecker) blockOK(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *orderChecker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		return c.writeTargetOK(s.X, token.ADD_ASSIGN, nil)
+	case *ast.ExprStmt:
+		return c.exprStmtOK(s.X)
+	case *ast.DeclStmt:
+		return true // declares loop-locals
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.blockOK(s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.blockOK(s)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if s.Post != nil && !c.stmtOK(s.Post) {
+			return false
+		}
+		return c.blockOK(s.Body)
+	case *ast.RangeStmt:
+		// The inner loop's own map-ness is checked independently by the
+		// outer walk; here it only matters that its body respects this
+		// loop's effect rules (its iteration vars are local to us).
+		return c.blockOK(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		for _, cc := range s.Body.List {
+			for _, cs := range cc.(*ast.CaseClause).Body {
+				if !c.stmtOK(cs) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, cs := range cc.(*ast.CaseClause).Body {
+				if !c.stmtOK(cs) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		// break/goto make visited-iteration membership order-dependent.
+		return c.fail(s.Pos(), "early exit from the loop")
+	case *ast.EmptyStmt:
+		return true
+	case *ast.ReturnStmt:
+		return c.fail(s.Pos(), "return selects an arbitrary iteration")
+	default:
+		return c.fail(s.Pos(), "statement with order-observable effects")
+	}
+}
+
+func (c *orderChecker) assignOK(s *ast.AssignStmt) bool {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if !c.writeTargetOK(lhs, s.Tok, rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeTargetOK vets one write to lhs. tok is the assignment operator
+// (token.ADD_ASSIGN for ++/--).
+func (c *orderChecker) writeTargetOK(lhs ast.Expr, tok token.Token, rhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if c.identLocal(lhs) || tok == token.DEFINE {
+			return true
+		}
+		return c.outerScalarWriteOK(lhs, tok, rhs)
+	case *ast.IndexExpr:
+		if c.rootLocal(lhs.X) {
+			return true
+		}
+		// Writes to an outer map/slice are independent iff the slot is
+		// distinct per iteration, i.e. indexed by the loop key.
+		if c.keyObj != nil && exprMentions(c.pass.Info, lhs.Index, c.keyObj) {
+			return true
+		}
+		return c.fail(lhs.Pos(), "write to an outer collection not indexed by the loop key")
+	case *ast.SelectorExpr:
+		if c.rootLocal(lhs.X) {
+			return true
+		}
+		return c.fail(lhs.Pos(), "write to a field of outer state")
+	case *ast.StarExpr:
+		if c.rootLocal(lhs.X) {
+			return true
+		}
+		return c.fail(lhs.Pos(), "write through an outer pointer")
+	default:
+		return c.fail(lhs.Pos(), "write to outer state")
+	}
+}
+
+// outerScalarWriteOK vets compound/plain assignment to an outer variable:
+// only commutative, associative, rounding-free accumulations pass.
+func (c *orderChecker) outerScalarWriteOK(lhs *ast.Ident, tok token.Token, rhs ast.Expr) bool {
+	t := c.pass.Info.TypeOf(lhs)
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		if isIntegerType(t) {
+			return true
+		}
+		return c.fail(lhs.Pos(), "floating-point (or non-integer) accumulation rounds differently per order")
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if isIntegerType(t) {
+			return true
+		}
+		return c.fail(lhs.Pos(), "bitwise accumulation on a non-integer")
+	case token.ASSIGN:
+		if rhs == nil {
+			return c.fail(lhs.Pos(), "assignment to outer variable")
+		}
+		obj := c.pass.Info.Uses[lhs]
+		// x = append(x, ...): sortable accumulation, resolved after the loop.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if isBuiltin(c.pass.Info, call, "append") && len(call.Args) > 0 &&
+				obj != nil && exprMentions(c.pass.Info, call.Args[0], obj) {
+				c.pendingSort = append(c.pendingSort, obj)
+				return true
+			}
+			// x = math.Max(x, e) / min/max folds.
+			if c.isFoldCall(call, obj) {
+				return true
+			}
+		}
+		// found = found || cond (and friends): boolean folds commute.
+		if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok {
+			if (bin.Op == token.LOR || bin.Op == token.LAND) &&
+				obj != nil && exprMentions(c.pass.Info, rhs, obj) {
+				return true
+			}
+		}
+		return c.fail(lhs.Pos(), "last-writer-wins assignment to outer variable "+lhs.Name)
+	default:
+		return c.fail(lhs.Pos(), "order-sensitive compound assignment")
+	}
+}
+
+// isFoldCall recognizes x = math.Max(x, e), math.Min, and the min/max
+// builtins — commutative, associative, and exact even on floats.
+func (c *orderChecker) isFoldCall(call *ast.CallExpr, acc types.Object) bool {
+	if acc == nil {
+		return false
+	}
+	isFold := isBuiltin(c.pass.Info, call, "min") || isBuiltin(c.pass.Info, call, "max")
+	if !isFold {
+		fn := calleeFunc(c.pass.Info, call)
+		isFold = fn != nil && funcPkgPath(fn) == "math" &&
+			(fn.Name() == "Max" || fn.Name() == "Min")
+	}
+	if !isFold {
+		return false
+	}
+	for _, arg := range call.Args {
+		if exprMentions(c.pass.Info, arg, acc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *orderChecker) exprStmtOK(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return c.fail(x.Pos(), "expression statement with order-observable effects")
+	}
+	if isBuiltin(c.pass.Info, call, "delete") {
+		if len(call.Args) == 2 && (c.rootLocal(call.Args[0]) ||
+			(c.keyObj != nil && exprMentions(c.pass.Info, call.Args[1], c.keyObj))) {
+			return true
+		}
+		return c.fail(call.Pos(), "delete from an outer map not keyed by the loop key")
+	}
+	if isBuiltin(c.pass.Info, call, "panic") {
+		return true // aborts the process; order of a panic is moot for results
+	}
+	if fn := calleeFunc(c.pass.Info, call); fn != nil {
+		if recvNamed(fn) == nil {
+			return true // package-level call: assumed effect-free (heuristic)
+		}
+		// Method call: safe only on a per-iteration receiver.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.rootLocal(sel.X) {
+			return true
+		}
+		return c.fail(call.Pos(), "method call mutating outer state")
+	}
+	// Call through a function value: safe when the value is loop-local.
+	if c.rootLocal(call.Fun) {
+		return true
+	}
+	return c.fail(call.Pos(), "call through an outer function value")
+}
+
+// sortFuncs recognizes the standard sorters that resolve a pending
+// append-accumulation.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch funcPkgPath(fn) {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// resolveSorts confirms every pending append-accumulated slice is sorted by
+// a statement after the loop in the enclosing function.
+func (c *orderChecker) resolveSorts() bool {
+	if len(c.pendingSort) == 0 {
+		return true
+	}
+	if c.fn == nil || c.fn.Body == nil {
+		return c.fail(c.rs.Pos(), "appended elements never sorted")
+	}
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() || !isSortCall(c.pass.Info, call) {
+			return true
+		}
+		for _, obj := range c.pendingSort {
+			for _, arg := range call.Args {
+				if exprMentions(c.pass.Info, arg, obj) {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range c.pendingSort {
+		if !sorted[obj] {
+			return c.fail(c.rs.Pos(),
+				"elements appended to "+obj.Name()+" in map order are never sorted afterwards")
+		}
+	}
+	return true
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc turns the PR 6–7 allocation work into a source-level gate: a
+// function annotated //stellar:hotpath must not contain the allocation
+// sources those rewrites eliminated. alloc_test.go measures the runtime
+// outcome; this analyzer rejects the cause at lint time, so a regression is
+// a compile-stage failure instead of a benchmark delta. Five patterns are
+// flagged:
+//
+//   - closures that capture variables (each capture is a heap allocation on
+//     every execution of the enclosing path);
+//   - fmt package calls (interface boxing plus reflection plus buffers);
+//   - interface boxing of concrete values at call, assignment, return, or
+//     conversion sites;
+//   - string concatenation (allocates the result);
+//   - make/new whose result escapes the function (returned, stored through
+//     a field or pointer, or handed to an outer structure) — escaping
+//     allocations belong in pooled or arena storage on these paths.
+//
+// Panic paths are exempt: a hot function may build a rich panic message,
+// since the process is over anyway. The exemption covers expressions inside
+// panic(...) arguments and blocks that unconditionally end in panic.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation sources in functions annotated //stellar:hotpath",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, "hotpath") {
+				continue
+			}
+			h := &hotChecker{pass: pass, fd: fd, cold: coldRegions(pass, fd.Body)}
+			h.check()
+		}
+	}
+	return nil
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(pos token.Pos) bool { return pos >= s.lo && pos < s.hi }
+
+// coldRegions collects the parts of body that only execute on the way to a
+// panic: panic call arguments, and blocks whose final statement is a panic.
+func coldRegions(pass *Pass, body *ast.BlockStmt) []span {
+	var cold []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, n, "panic") && len(n.Args) == 1 {
+				cold = append(cold, span{n.Args[0].Pos(), n.Args[0].End()})
+			}
+		case *ast.BlockStmt:
+			if len(n.List) > 0 && isPanicStmt(pass, n.List[len(n.List)-1]) {
+				cold = append(cold, span{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func isPanicStmt(pass *Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isBuiltin(pass.Info, call, "panic")
+}
+
+type hotChecker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	cold []span
+
+	// escapees are loop-local variables initialized from make/new; a later
+	// return or outward store of one is an escaping allocation.
+	escapees map[types.Object]token.Pos
+}
+
+func (h *hotChecker) isCold(pos token.Pos) bool {
+	for _, s := range h.cold {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hotChecker) check() {
+	h.escapees = make(map[types.Object]token.Pos)
+	name := h.fd.Name.Name
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if h.isCold(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			h.checkCapture(n, name)
+			// Keep walking inside: the closure's own body is hot too.
+		case *ast.CallExpr:
+			h.checkCall(n, name)
+		case *ast.BinaryExpr:
+			h.checkConcat(n, name)
+		case *ast.AssignStmt:
+			h.checkAssign(n, name)
+		case *ast.ReturnStmt:
+			h.checkReturn(n, name)
+		}
+		return true
+	})
+}
+
+// checkCapture flags closures that capture variables of the enclosing
+// function: the captured variables (and the closure itself) are heap
+// allocated each time the path executes.
+func (h *hotChecker) checkCapture(lit *ast.FuncLit, name string) {
+	captured := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := h.pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (including its
+		// parameters and receiver) but outside the literal itself.
+		pos := obj.Pos()
+		if pos >= h.fd.Pos() && pos < h.fd.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			captured[obj.Name()] = true
+		}
+		return true
+	})
+	for v := range captured {
+		h.pass.Reportf(lit.Pos(),
+			"hot path %s: closure captures %s, allocating per execution; use a typed state slot or pass the value explicitly",
+			name, v)
+		return // one report per literal is enough
+	}
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr, name string) {
+	// Conversions to interface types box their operand.
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && h.boxes(call.Args[0]) {
+			h.pass.Reportf(call.Pos(),
+				"hot path %s: conversion boxes a concrete value into an interface", name)
+		}
+		return
+	}
+	fn := calleeFunc(h.pass.Info, call)
+	if fn != nil && funcPkgPath(fn) == "fmt" {
+		h.pass.Reportf(call.Pos(),
+			"hot path %s: fmt.%s allocates (boxing, reflection, buffers); format off the hot path or preformat",
+			name, fn.Name())
+		return
+	}
+	// Interface-typed parameters box concrete arguments.
+	sig, ok := h.pass.Info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && h.boxes(arg) {
+			h.pass.Reportf(arg.Pos(),
+				"hot path %s: argument boxes a concrete value into %s", name, pt.String())
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface-typed slot allocates: its
+// type is concrete (non-interface, non-nil) and it is not a constant that
+// the compiler can intern... constants still box, so only nil and
+// interface-typed values are exempt.
+func (h *hotChecker) boxes(e ast.Expr) bool {
+	tv, ok := h.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	// Signature types (func values) are concrete but assigning them to a
+	// func-typed field is not boxing; reaching here means the target is an
+	// interface, so any concrete type counts.
+	return true
+}
+
+func (h *hotChecker) checkConcat(bin *ast.BinaryExpr, name string) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := h.pass.Info.Types[bin]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		h.pass.Reportf(bin.Pos(),
+			"hot path %s: string concatenation allocates; preformat or use a pooled buffer", name)
+	}
+}
+
+// checkAssign flags make/new escaping through stores to outer structure and
+// records make/new-initialized locals for the return check.
+func (h *hotChecker) checkAssign(s *ast.AssignStmt, name string) {
+	for i, rhs := range s.Rhs {
+		if !isMakeOrNew(h.pass.Info, rhs) {
+			continue
+		}
+		if i >= len(s.Lhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+		case *ast.Ident:
+			if s.Tok == token.DEFINE {
+				if obj := h.pass.Info.Defs[lhs]; obj != nil {
+					h.escapees[obj] = rhs.Pos()
+				}
+				continue
+			}
+			if obj := h.pass.Info.Uses[lhs]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && h.isFuncLocal(v) {
+					h.escapees[obj] = rhs.Pos()
+					continue
+				}
+			}
+			h.reportEscape(rhs.Pos(), name)
+		default:
+			// Store through a selector, index, or pointer: escapes.
+			h.reportEscape(rhs.Pos(), name)
+		}
+	}
+	// A local holding a make/new result that is stored outward escapes too.
+	for i, lhs := range s.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			_ = l
+			if i < len(s.Rhs) {
+				if id, ok := ast.Unparen(s.Rhs[i]).(*ast.Ident); ok {
+					if obj := h.pass.Info.Uses[id]; obj != nil {
+						if pos, tracked := h.escapees[obj]; tracked {
+							h.reportEscape(pos, name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (h *hotChecker) checkReturn(s *ast.ReturnStmt, name string) {
+	for _, res := range s.Results {
+		if isMakeOrNew(h.pass.Info, res) {
+			h.reportEscape(res.Pos(), name)
+			continue
+		}
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if obj := h.pass.Info.Uses[id]; obj != nil {
+				if pos, tracked := h.escapees[obj]; tracked {
+					h.reportEscape(pos, name)
+				}
+			}
+		}
+	}
+}
+
+func (h *hotChecker) reportEscape(pos token.Pos, name string) {
+	h.pass.Reportf(pos,
+		"hot path %s: make/new result escapes the function; allocate from a pool, arena, or reused buffer", name)
+}
+
+func (h *hotChecker) isFuncLocal(v *types.Var) bool {
+	return v.Pos() >= h.fd.Pos() && v.Pos() < h.fd.End()
+}
+
+func isMakeOrNew(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isBuiltin(info, call, "make") || isBuiltin(info, call, "new")
+}

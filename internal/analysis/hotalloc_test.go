@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+// TestHotAlloc covers the five allocation sources in //stellar:hotpath
+// functions, the cold-panic-path exemption, and the negative case: an
+// unannotated twin of a flagged function draws nothing.
+func TestHotAlloc(t *testing.T) {
+	res, err := RunTest("testdata", HotAlloc, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("\n" + res.String())
+	}
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+// TestLockHold covers channel ops, pool.Queue calls, and I/O under held
+// runcache/server mutexes — including deferred unlocks and an early-unlock
+// branch — plus the snapshot-then-communicate shapes that must stay silent.
+func TestLockHold(t *testing.T) {
+	res, err := RunTest("testdata", LockHold, "runcache", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("\n" + res.String())
+	}
+}

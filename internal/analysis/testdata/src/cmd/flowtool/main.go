@@ -1,0 +1,13 @@
+// Package main is the cmd-side ctxflow fixture: the cancellation root
+// genuinely begins here, so Background and blocking are legal.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}

@@ -1,0 +1,51 @@
+// Package inner is the ctxflow fixture outside cmd: exported blocking
+// functions must thread contexts, and fresh roots are forbidden.
+package inner
+
+import (
+	"context"
+	"time"
+)
+
+// Wait blocks on the channel with no way to cancel.
+func Wait(ch chan int) int { // want `exported Wait blocks`
+	return <-ch
+}
+
+// Sleepy stalls the caller.
+func Sleepy() { // want `exported Sleepy blocks`
+	time.Sleep(time.Millisecond)
+}
+
+// Shuffled buries its context mid-signature.
+func Shuffled(n int, ctx context.Context) int { // want `contexts go first`
+	_ = ctx
+	return n
+}
+
+// Fresh synthesizes a root that severs cancellation.
+func Fresh() context.Context {
+	return context.Background() // want `context\.Background severs cancellation`
+}
+
+// Wrapped is the documented convenience wrapper.
+//
+//stellar:allow-background
+func Wrapped() context.Context {
+	return context.Background()
+}
+
+// Drain is the correct shape: context first, consulted while blocking.
+func Drain(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// drain is unexported plumbing; its exported callers hold the context.
+func drain(ch chan int) int {
+	return <-ch
+}

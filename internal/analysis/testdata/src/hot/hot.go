@@ -1,0 +1,74 @@
+// Package hot is a hotalloc fixture: only functions carrying the
+// //stellar:hotpath marker are checked.
+package hot
+
+import "fmt"
+
+func consume(v interface{}) { _ = v }
+
+//stellar:hotpath
+func capturesVar(xs []int) func() int {
+	total := 0
+	f := func() int { // want `closure captures total`
+		total++
+		return total
+	}
+	for range xs {
+		f()
+	}
+	return f
+}
+
+//stellar:hotpath
+func formats(id int) string {
+	return fmt.Sprintf("evt-%d", id) // want `fmt\.Sprintf allocates`
+}
+
+//stellar:hotpath
+func boxes(n int) {
+	consume(n) // want `boxes a concrete value into`
+}
+
+//stellar:hotpath
+func joins(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//stellar:hotpath
+func escapes(n int) []int {
+	return make([]int, n) // want `make/new result escapes`
+}
+
+//stellar:hotpath
+func escapesViaLocal(n int) []int {
+	buf := make([]int, n) // want `make/new result escapes`
+	return buf
+}
+
+// scratchOK allocates but nothing leaves the frame: no finding.
+//
+//stellar:hotpath
+func scratchOK(xs []int) int {
+	buf := make([]int, len(xs))
+	total := 0
+	for i, x := range xs {
+		buf[i] = x * 2
+		total += buf[i]
+	}
+	return total
+}
+
+// guarded may build a rich panic message: panic paths are cold.
+//
+//stellar:hotpath
+func guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative length %d", n))
+	}
+	return n * 2
+}
+
+// unannotated mirrors formats without the marker; hotalloc ignores it.
+func unannotated(id int) string {
+	return fmt.Sprintf("evt-%d", id)
+}

@@ -1,0 +1,17 @@
+// Package notdet mirrors sim's violations in a package whose import path is
+// not determinism-critical; detdrift must stay silent here.
+package notdet
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+
+func Launch(done chan struct{}) { go close(done) }
+
+func LastWriter(m map[string]int) int {
+	winner := 0
+	for _, v := range m {
+		winner = v
+	}
+	return winner
+}

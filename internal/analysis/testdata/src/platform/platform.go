@@ -1,0 +1,9 @@
+// Package platform stubs the recording helpers for lockhold fixtures.
+package platform
+
+// WriteRecording persists a recording to disk.
+func WriteRecording(path string, data []byte) error {
+	_ = path
+	_ = data
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package pool stubs the real worker pool's surface for lockhold fixtures.
+package pool
+
+// Queue mimics the real pool.Queue.
+type Queue struct{}
+
+// Do parks the caller until a worker picks up the job.
+func (q *Queue) Do(f func()) { f() }

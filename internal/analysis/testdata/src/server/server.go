@@ -1,0 +1,25 @@
+// Package server is the jobs-side lockhold fixture.
+package server
+
+import "sync"
+
+type jobs struct {
+	mu   sync.RWMutex
+	done chan struct{}
+}
+
+func (j *jobs) waitHeld() {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	select { // want `select while j\.mu is held`
+	case <-j.done:
+	}
+}
+
+// signal snapshots the channel under the read lock and waits outside it.
+func (j *jobs) signal() {
+	j.mu.RLock()
+	ch := j.done
+	j.mu.RUnlock()
+	<-ch
+}

@@ -1,0 +1,102 @@
+// Package sim is a detdrift fixture: its import path ends in a
+// determinism-critical segment, so every drift source draws a finding.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() (time.Time, time.Duration) {
+	now := time.Now()            // want `time\.Now in a determinism-critical package`
+	d := time.Since(time.Time{}) // want `time\.Since in a determinism-critical package`
+	return now, d
+}
+
+func draws() int {
+	n := rand.Intn(10) // want `global math/rand\.Intn draws from process-global state`
+	r := rand.New(rand.NewSource(42))
+	return n + r.Intn(10) // seeded *rand.Rand: legal
+}
+
+func launch(done chan struct{}) {
+	go close(done) // want `goroutine launched outside internal/pool`
+}
+
+func lastWriter(m map[string]int) int {
+	winner := 0
+	for _, v := range m { // want `not provably order-independent`
+		winner = v
+	}
+	return winner
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer accumulation commutes: no finding
+		total += v
+	}
+	return total
+}
+
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `not provably order-independent`
+		total += v
+	}
+	return total
+}
+
+func maxVal(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m { // max fold is exact even on floats: no finding
+		best = max(best, v)
+	}
+	return best
+}
+
+func keyedWrites(m, out map[string]int) {
+	for k, v := range m { // distinct slot per iteration: no finding
+		out[k] = v * 2
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // appended then sorted below: no finding
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `appended to keys in map order are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// singleEntry is the load-bearing suppression: the caller guarantees m holds
+// exactly one element, which the prover cannot know.
+func singleEntry(m map[string]int) string {
+	pick := ""
+	//stellar:order-independent the caller guarantees a single entry
+	for k := range m {
+		pick = k
+	}
+	return pick
+}
+
+// staleSuppression annotates a loop the prover already accepts; the
+// annotation carries no weight and must be reported.
+func staleSuppression(m map[string]int) int {
+	total := 0
+	//stellar:order-independent // want `unused //stellar:order-independent annotation`
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

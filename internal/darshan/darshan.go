@@ -84,19 +84,27 @@ func (r *Record) FastestRankTime() float64 {
 	return m
 }
 
-// VarianceRankTime returns the variance of per-rank I/O time.
+// VarianceRankTime returns the variance of per-rank I/O time. The sums run
+// over ranks in sorted order: float accumulation rounds differently per
+// order, and this value feeds rendered logs that golden replays compare.
 func (r *Record) VarianceRankTime() float64 {
 	n := len(r.rankTime)
 	if n == 0 {
 		return 0
 	}
+	ranks := make([]int, 0, n)
+	for rank := range r.rankTime {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
 	mean := 0.0
-	for _, t := range r.rankTime {
-		mean += t
+	for _, rank := range ranks {
+		mean += r.rankTime[rank]
 	}
 	mean /= float64(n)
 	v := 0.0
-	for _, t := range r.rankTime {
+	for _, rank := range ranks {
+		t := r.rankTime[rank]
 		v += (t - mean) * (t - mean)
 	}
 	return v / float64(n)

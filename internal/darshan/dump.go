@@ -20,6 +20,7 @@ func (l *Log) Dump() string {
 		}
 		rank := -1 // shared records use rank -1, as real Darshan does
 		if r.Ranks() == 1 {
+			//stellar:order-independent the Ranks()==1 guard means rankSet holds exactly one entry
 			for only := range r.rankSet {
 				rank = only
 			}

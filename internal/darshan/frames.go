@@ -2,6 +2,7 @@ package darshan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"stellar/internal/dataframe"
@@ -80,6 +81,7 @@ func (l *Log) ColumnDocs() string {
 	for k := range env {
 		names = append(names, k)
 	}
+	sort.Strings(names)
 	// stable order: POSIX first, then others alphabetically
 	var b strings.Builder
 	if f, ok := env["POSIX"]; ok {

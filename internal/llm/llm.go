@@ -8,6 +8,7 @@ package llm
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -214,7 +215,7 @@ func (m *Meter) SessionRequests(session string) int {
 	return m.requests[session]
 }
 
-// Sessions lists sessions with recorded usage.
+// Sessions lists sessions with recorded usage, in sorted order.
 func (m *Meter) Sessions() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -222,6 +223,7 @@ func (m *Meter) Sessions() []string {
 	for k := range m.totals {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -24,14 +24,23 @@ type Exchange struct {
 // safe for concurrent use.
 type Recorder struct {
 	inner Client
+	clock func() time.Time
 
 	mu        sync.Mutex
 	exchanges []Exchange
 }
 
-// NewRecorder wraps inner.
+// NewRecorder wraps inner. Exchanges carry the zero Timestamp so transcripts
+// are byte-for-byte reproducible; cmd wiring that wants wall-clock stamps
+// passes time.Now to NewRecorderWithClock.
 func NewRecorder(inner Client) *Recorder {
-	return &Recorder{inner: inner}
+	return NewRecorderWithClock(inner, nil)
+}
+
+// NewRecorderWithClock wraps inner, stamping each exchange with clock. A nil
+// clock leaves Timestamp at its zero value, the deterministic default.
+func NewRecorderWithClock(inner Client, clock func() time.Time) *Recorder {
+	return &Recorder{inner: inner, clock: clock}
 }
 
 // Complete implements Client, recording the exchange.
@@ -42,6 +51,10 @@ func (r *Recorder) Complete(ctx context.Context, req *Request) (*Response, error
 	}
 	msgs := make([]Message, len(req.Messages))
 	copy(msgs, req.Messages)
+	var ts time.Time
+	if r.clock != nil {
+		ts = r.clock()
+	}
 	r.mu.Lock()
 	r.exchanges = append(r.exchanges, Exchange{
 		Index:     len(r.exchanges),
@@ -50,7 +63,7 @@ func (r *Recorder) Complete(ctx context.Context, req *Request) (*Response, error
 		Messages:  msgs,
 		Reply:     resp.Message,
 		Usage:     resp.Usage,
-		Timestamp: time.Now(),
+		Timestamp: ts,
 	})
 	r.mu.Unlock()
 	return resp, nil

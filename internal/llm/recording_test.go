@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRecorderCapturesExchanges(t *testing.T) {
@@ -35,6 +36,59 @@ func TestRecorderCapturesExchanges(t *testing.T) {
 	js, err := r.JSON()
 	if err != nil || !strings.Contains(js, `"reply body here"`) {
 		t.Fatalf("json transcript: %v", err)
+	}
+}
+
+// TestRecorderDeterministicTimestamps pins the determinism contract: without
+// an injected clock the recorder never consults one, so two identical runs
+// serialize to byte-identical transcripts.
+func TestRecorderDeterministicTimestamps(t *testing.T) {
+	record := func() string {
+		r := NewRecorder(&echoClient{})
+		for i := 0; i < 3; i++ {
+			if _, err := r.Complete(context.Background(), &Request{Model: "m"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		js, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	a, b := record(), record()
+	if a != b {
+		t.Fatalf("transcripts differ between identical runs:\n%s\n---\n%s", a, b)
+	}
+	r := NewRecorder(&echoClient{})
+	if _, err := r.Complete(context.Background(), &Request{Model: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := r.Exchanges()[0].Timestamp; !ts.IsZero() {
+		t.Fatalf("timestamp %v recorded without an injected clock", ts)
+	}
+}
+
+// TestRecorderInjectedClock verifies cmd wiring can opt back into wall-clock
+// stamps without the package itself consulting one.
+func TestRecorderInjectedClock(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	r := NewRecorderWithClock(&echoClient{}, func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Complete(context.Background(), &Request{Model: "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex := r.Exchanges()
+	if got, want := ex[0].Timestamp, base.Add(time.Second); !got.Equal(want) {
+		t.Fatalf("exchange 0 timestamp = %v, want %v", got, want)
+	}
+	if got, want := ex[1].Timestamp, base.Add(2*time.Second); !got.Equal(want) {
+		t.Fatalf("exchange 1 timestamp = %v, want %v", got, want)
 	}
 }
 

@@ -15,6 +15,8 @@ type chunk struct {
 
 // chunkAt returns the stripe-aligned chunk starting at off, capped at rem
 // remaining bytes.
+//
+//stellar:hotpath
 func (r *runner) chunkAt(f *fileState, off, rem int64) chunk {
 	stripe := off / f.stripeSize
 	within := off % f.stripeSize
@@ -30,6 +32,8 @@ func (r *runner) chunkAt(f *fileState, off, rem int64) chunk {
 // boundaries and assigns each piece its OST. The returned slice is the
 // runner's scratch: valid until the next stripeChunks call, which is safe
 // because every caller issues all of a split's RPCs within one event.
+//
+//stellar:hotpath
 func (r *runner) stripeChunks(f *fileState, off, size int64) []chunk {
 	out := r.chunks[:0]
 	for size > 0 {
@@ -46,6 +50,8 @@ func (r *runner) stripeChunks(f *fileState, off, size int64) []chunk {
 // thread: request handling, seek positioning, and checksum CPU. Setup of
 // concurrent RPCs overlaps (NCQ-style), which is why deeper client RPC
 // windows raise random-I/O throughput.
+//
+//stellar:hotpath
 func (r *runner) setupService(f *fileState, c chunk) float64 {
 	svc := r.spec.RPCServiceFloor
 	if c.size <= r.cfg.shortIO {
@@ -64,6 +70,8 @@ func (r *runner) setupService(f *fileState, c chunk) float64 {
 }
 
 // mediaTime is the serialized media transfer time for an RPC's payload.
+//
+//stellar:hotpath
 func (r *runner) mediaTime(size int64, write bool) float64 {
 	bw := r.spec.DiskReadBW
 	if write {

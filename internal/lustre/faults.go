@@ -325,6 +325,8 @@ func (p FaultPlan) compile(osts int) *faultState {
 // stall returns how long an RPC arriving at OST ost at time t must wait for
 // the OST to come back, or 0 when the OST is up. Overlapping dropout
 // windows stall until the last one clears.
+//
+//stellar:hotpath
 func (fs *faultState) stall(ost int, t float64) float64 {
 	var wait float64
 	for _, w := range fs.down[ost] {
@@ -340,6 +342,8 @@ func (fs *faultState) stall(ost int, t float64) float64 {
 // bwFactor returns the media bandwidth multiplier for OST ost at time t:
 // the product of all active degradation factors, floored well above zero so
 // degraded transfers always finish.
+//
+//stellar:hotpath
 func (fs *faultState) bwFactor(ost int, t float64) float64 {
 	factor := 1.0
 	for _, f := range fs.bw[ost] {
@@ -354,6 +358,8 @@ func (fs *faultState) bwFactor(ost int, t float64) float64 {
 }
 
 // mdsFactor returns the metadata service-time multiplier at time t.
+//
+//stellar:hotpath
 func (fs *faultState) mdsFactor(t float64) float64 {
 	factor := 1.0
 	for _, f := range fs.mds {

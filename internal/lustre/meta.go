@@ -29,6 +29,7 @@ func newMetaCache(capacity int) *metaCache {
 	}
 }
 
+//stellar:hotpath
 func (m *metaCache) contains(f int32) bool {
 	e, ok := m.entries[f]
 	if ok {
@@ -76,6 +77,7 @@ func newPageCache(capacity int64) *pageCache {
 	}
 }
 
+//stellar:hotpath
 func (p *pageCache) contains(f int32) bool {
 	_, ok := p.sizes[f]
 	return ok

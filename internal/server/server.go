@@ -166,7 +166,10 @@ type Server struct {
 }
 
 // New builds a server. Call Close when done to cancel outstanding jobs and
-// drain the queue.
+// drain the queue. The server owns the process-lifetime root that parents
+// asynchronous jobs; request contexts parent synchronous work instead.
+//
+//stellar:allow-background
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	cache := opts.Cache

@@ -63,6 +63,8 @@ type laneItem struct {
 }
 
 // alloc places ev in an arena slot and returns its index.
+//
+//stellar:hotpath
 func (e *Engine) alloc(ev event) int32 {
 	if n := len(e.free); n > 0 {
 		i := e.free[n-1]
@@ -76,6 +78,8 @@ func (e *Engine) alloc(ev event) int32 {
 
 // take reads the payload out of slot i and recycles the slot, clearing its
 // pointers so a completed event doesn't pin its closure or resource.
+//
+//stellar:hotpath
 func (e *Engine) take(i int32) event {
 	ev := e.arena[i]
 	e.arena[i] = event{}
@@ -86,6 +90,8 @@ func (e *Engine) take(i int32) event {
 // heapPush inserts an item into the 4-ary min-heap. The hole-based sift-up
 // moves ancestors down and writes the new item once, instead of swapping
 // element-wise.
+//
+//stellar:hotpath
 func (e *Engine) heapPush(it heapItem) {
 	e.heap = append(e.heap, it)
 	h := e.heap
@@ -102,6 +108,8 @@ func (e *Engine) heapPush(it heapItem) {
 }
 
 // heapPop removes and returns the minimum item.
+//
+//stellar:hotpath
 func (e *Engine) heapPop() heapItem {
 	h := e.heap
 	top := h[0]
@@ -119,6 +127,8 @@ func (e *Engine) heapPop() heapItem {
 // comparing up to four children per level — a good trade when each
 // comparison is two inlined scalar compares on a 24-byte record rather than
 // an interface method call on boxed pointers.
+//
+//stellar:hotpath
 func (e *Engine) siftDown(it heapItem) {
 	h := e.heap
 	n := len(h)
@@ -160,6 +170,10 @@ type ring[T any] struct {
 
 func (r *ring[T]) len() int { return r.n }
 
+// push appends v; the cold grow path (which must allocate) stays
+// unannotated by design.
+//
+//stellar:hotpath
 func (r *ring[T]) push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -168,6 +182,7 @@ func (r *ring[T]) push(v T) {
 	r.n++
 }
 
+//stellar:hotpath
 func (r *ring[T]) pop() T {
 	if r.n == 0 {
 		panic("sim: pop from empty ring")
@@ -181,6 +196,8 @@ func (r *ring[T]) pop() T {
 }
 
 // peek returns a pointer to the oldest element, which must exist.
+//
+//stellar:hotpath
 func (r *ring[T]) peek() *T { return &r.buf[r.head] }
 
 // reset empties the ring in place, zeroing the occupied slots so abandoned

@@ -70,12 +70,16 @@ func TotalFired() uint64 { return totalFired.Load() }
 // non-finite instant panics: both always indicate a model bug, and a NaN
 // would otherwise slip through the past-check (every comparison against NaN
 // is false) and silently corrupt the event heap's ordering invariant.
+//
+//stellar:hotpath
 func (e *Engine) At(t float64, fn func()) {
 	e.schedule(t, event{kind: evFire, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative or non-finite d
 // panics.
+//
+//stellar:hotpath
 func (e *Engine) After(d float64, fn func()) {
 	if !(d >= 0 && d <= math.MaxFloat64) { // rejects negatives, NaN, ±Inf in one branch
 		panic(fmt.Sprintf("sim: negative or non-finite delay %g", d))
@@ -85,6 +89,8 @@ func (e *Engine) After(d float64, fn func()) {
 
 // schedule stamps the event with the next sequence number and enqueues it:
 // the FIFO lane when it lands on the current instant, the heap otherwise.
+//
+//stellar:hotpath
 func (e *Engine) schedule(t float64, ev event) {
 	if !(t >= e.now && t <= math.MaxFloat64) {
 		// Slow path only for the panic message: NaN and ±Inf fail the
@@ -105,6 +111,8 @@ func (e *Engine) schedule(t float64, ev event) {
 
 // scheduleNow enqueues a kernel-generated event at the current instant —
 // the Resource grant path, which needs none of schedule's range checks.
+//
+//stellar:hotpath
 func (e *Engine) scheduleNow(ev event) {
 	e.seq++
 	e.lane.push(laneItem{seq: e.seq, idx: e.alloc(ev)})
@@ -113,6 +121,8 @@ func (e *Engine) scheduleNow(ev event) {
 // afterDelay is After for internal kernel events; it applies After's
 // validation so model bugs (a negative or NaN service time) panic at the
 // same instant, with the same message, as the closure-based idiom did.
+//
+//stellar:hotpath
 func (e *Engine) afterDelay(d float64, ev event) {
 	if !(d >= 0 && d <= math.MaxFloat64) {
 		panic(fmt.Sprintf("sim: negative or non-finite delay %g", d))
@@ -149,7 +159,11 @@ func (e *Engine) Reset() {
 const DefaultCheckEvery = 4096
 
 // Run executes events until the queue drains or Stop is called, and returns
-// the final clock value.
+// the final clock value. It is the documented uncancellable convenience
+// wrapper over RunContext; callers that must honor cancellation use
+// RunContext directly.
+//
+//stellar:allow-background
 func (e *Engine) Run() float64 {
 	t, _ := e.RunContext(context.Background(), DefaultCheckEvery)
 	return t
@@ -159,13 +173,15 @@ func (e *Engine) Run() float64 {
 // (DefaultCheckEvery if <= 0) and aborts mid-simulation with ctx's error
 // when it is cancelled. A SIGINT therefore unwinds a long run after at most
 // checkEvery more events rather than only once the queue drains.
+//
+//stellar:hotpath
 func (e *Engine) RunContext(ctx context.Context, checkEvery uint64) (float64, error) {
 	if checkEvery <= 0 {
 		checkEvery = DefaultCheckEvery
 	}
 	e.stopped = false
 	start := e.fired
-	defer func() { totalFired.Add(e.fired - start) }()
+	defer e.noteFired(start)
 	// countdown replaces the old `fired % checkEvery == 0` test: a
 	// decrement and branch instead of an integer division per event. It
 	// starts at zero so the context is polled before the first event, as
@@ -213,6 +229,11 @@ func (e *Engine) RunContext(ctx context.Context, checkEvery uint64) (float64, er
 	}
 	return e.now, nil
 }
+
+// noteFired credits this run's events to the process-wide counter. A bound
+// method call defers without capturing, unlike the closure it replaced,
+// which kept RunContext's frame allocation-free.
+func (e *Engine) noteFired(start uint64) { totalFired.Add(e.fired - start) }
 
 // Pending reports the number of events still queued.
 func (e *Engine) Pending() int { return len(e.heap) + e.lane.len() }
@@ -301,6 +322,8 @@ func (r *Resource) Finalize() { r.accountBusy() }
 
 // Acquire requests a server slot; got runs (as a scheduled event at the
 // acquisition instant) once a slot is owned. The waiting time is recorded.
+//
+//stellar:hotpath
 func (r *Resource) Acquire(got func()) {
 	r.enqueue(waiter{reqAt: r.eng.now, kind: wAcquire, fn: got})
 }
@@ -308,10 +331,13 @@ func (r *Resource) Acquire(got func()) {
 // Use acquires a slot, holds it for service seconds, releases it, then runs
 // done. It is the common acquire/delay/release idiom, executed natively by
 // the kernel so it costs no closure allocations.
+//
+//stellar:hotpath
 func (r *Resource) Use(service float64, done func()) {
 	r.enqueue(waiter{reqAt: r.eng.now, kind: wUse, fn: done, service: service})
 }
 
+//stellar:hotpath
 func (r *Resource) enqueue(w waiter) {
 	r.queue.push(w)
 	if r.queue.n > r.queuedPeak {
@@ -321,6 +347,8 @@ func (r *Resource) enqueue(w waiter) {
 }
 
 // Release returns a slot to the pool and wakes the next waiter, if any.
+//
+//stellar:hotpath
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)
@@ -330,6 +358,7 @@ func (r *Resource) Release() {
 	r.dispatch()
 }
 
+//stellar:hotpath
 func (r *Resource) dispatch() {
 	for r.inUse < r.capacity && r.queue.n > 0 {
 		w := r.queue.pop()
@@ -392,6 +421,8 @@ func (p *Pipe) Rate() float64 { return p.rate }
 // they would only surface later as a confusing non-finite-delay panic (or,
 // for +Inf, a transfer pinning the clock at infinity) far from the buggy
 // caller.
+//
+//stellar:hotpath
 func (p *Pipe) Send(size float64, done func()) {
 	if !(size >= 0 && size <= math.MaxFloat64) {
 		panic(fmt.Sprintf("sim: negative or non-finite transfer size %g on pipe %s", size, p.res.name))

@@ -113,6 +113,8 @@ func Replay(spec TraceSpec, ranks int, scale float64) *Workload {
 		if rf.perW == 0 {
 			continue
 		}
+		// Per-file seed derived from the file index: offsets reproduce
+		// identically per file regardless of file iteration order.
 		rng := rand.New(rand.NewSource(int64(fi)*7919 + 11))
 		nSeq := seqSplit(rf.tf.SeqWrites, rf.tf.Writes, rf.perW)
 		for wi, r := range rf.writers {
@@ -136,6 +138,7 @@ func Replay(spec TraceSpec, ranks int, scale float64) *Workload {
 		if rf.perR == 0 {
 			continue
 		}
+		// Per-file seed, distinct stream from the write phase above.
 		rng := rand.New(rand.NewSource(int64(fi)*7919 + 13))
 		nSeq := seqSplit(rf.tf.SeqReads, rf.tf.Reads, rf.perR)
 		span := rf.span
@@ -222,6 +225,8 @@ func DarshanReplay(ranks int, scale float64) *Workload {
 // time-varying phases.
 func Multitenant(ranks int, scale float64) *Workload {
 	b := newBuilder("multitenant", "POSIX", ranks, scale)
+	// Fixed-seed generator: tenant role rotation is part of the workload's
+	// identity, not a randomized experiment factor.
 	rng := rand.New(rand.NewSource(17))
 	tenants := 3
 	if tenants > ranks {

@@ -13,6 +13,8 @@ import "math/rand"
 // write-dominated, shared-file, moderately sequential pattern.
 func E3SM(ranks int, scale float64) *Workload {
 	b := newBuilder("E3SM", "MPI-IO", ranks, scale)
+	// Fixed-seed generator: the named workload is a reproducible constant
+	// for a given (ranks, scale), never a source of run-to-run variation.
 	rng := rand.New(rand.NewSource(3))
 	steps := 3
 	varsPerStep := scaleCount(16, scale)

@@ -229,6 +229,8 @@ func MDWorkbench8K(ranks int, scale float64) *Workload {
 // private dirs), and MDTest-Hard (small files, one shared dir).
 func IO500(ranks int, scale float64) *Workload {
 	b := newBuilder("IO500", "MPI-IO", ranks, scale)
+	// Fixed-seed generator: the benchmark's random offsets are a
+	// reproducible constant of the named workload.
 	rng := rand.New(rand.NewSource(500))
 
 	// --- IOR-Easy: per-rank sequential large transfers to a shared file.
@@ -342,6 +344,8 @@ func IO500(ranks int, scale float64) *Workload {
 // repeated over several steps, then reads back one step (restart).
 func AMReX(ranks int, scale float64) *Workload {
 	b := newBuilder("AMReX", "MPI-IO", ranks, scale)
+	// Fixed-seed generator: block-size variation reproduces identically
+	// for a given (ranks, scale).
 	rng := rand.New(rand.NewSource(42))
 	steps := 4
 	blocksPerRank := scaleCount(24, scale)
@@ -406,6 +410,8 @@ func AMReX(ranks int, scale float64) *Workload {
 func MACSio(ranks int, objectSize int64, scale float64) *Workload {
 	label := fmt.Sprintf("MACSio_%s", sizeLabel(objectSize))
 	b := newBuilder(label, "MPI-IO", ranks, scale)
+	// Seeded by objectSize so each MACSio variant draws its own stable
+	// part-size sequence.
 	rng := rand.New(rand.NewSource(objectSize))
 	dumps := 3
 	objsPerDump := scaleCount(20, scale)
