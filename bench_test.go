@@ -217,7 +217,10 @@ func BenchmarkEvaluateCached(b *testing.B) {
 // dedup without the HTTP layer) and BenchmarkEvaluateUncached. stellar-bench
 // -serve-requests N records the same measurement into BENCH_*.json.
 func BenchmarkServeEvaluate(b *testing.B) {
-	srv := server.New(server.Options{Scale: 0.25, Workers: runtime.GOMAXPROCS(0)})
+	srv, err := server.New(server.Options{Scale: 0.25, Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -246,9 +249,12 @@ func BenchmarkServeEvaluate(b *testing.B) {
 // the benchmark measures lock contention on the shared cache itself.
 func benchServeConcurrent(b *testing.B, shards int) {
 	b.Helper()
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Scale: 0.25, Workers: 32, Backlog: 64, CacheShards: shards,
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

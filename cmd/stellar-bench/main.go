@@ -28,6 +28,14 @@
 //	                               # spent, and the cache delta (a second run
 //	                               # over the same -cache-dir must report zero
 //	                               # misses and the identical winner)
+//	stellar-bench -cluster-requests 24 -cluster-nodes 3 -json BENCH_cluster.json
+//	                               # distributed serving tier: spawn 3 real
+//	                               # serve processes peered over a shared
+//	                               # cache dir, fan duplicate requests across
+//	                               # all of them (exactly one simulation per
+//	                               # distinct spec cluster-wide), then restart
+//	                               # a node and verify the zero-miss warm
+//	                               # start from the shared directory
 //	stellar-bench -sim-passes 3 -json BENCH_sim.json
 //	                               # raw event-kernel throughput: drive the
 //	                               # deterministic sim.Workout mix with no
@@ -112,6 +120,15 @@ type benchRecord struct {
 	// committed BENCH_sim.json baseline.
 	EvalMS        float64 `json:"eval_ms,omitempty"`
 	AllocsPerEval float64 `json:"allocs_per_eval,omitempty"`
+	// Cluster-pass fields: the fleet size and the peering counters summed
+	// over every node process's /v1/stats for the pass — how much duplicate
+	// work crossed the wire (forwards, coalesced_remote), how much was
+	// served for peers, and whether any forward degraded to a local run.
+	Nodes           int    `json:"nodes,omitempty"`
+	Forwards        uint64 `json:"forwards,omitempty"`
+	ForwardErrs     uint64 `json:"forward_errs,omitempty"`
+	CoalescedRemote uint64 `json:"coalesced_remote,omitempty"`
+	ServedForwards  uint64 `json:"served_forwards,omitempty"`
 }
 
 // simMeter snapshots the process-wide event counter and allocation tally at
@@ -165,10 +182,29 @@ func main() {
 		sweepN   = flag.Int("sweep-requests", 0, "also measure the batch sweep API: POST one parameter grid with this many cells to an in-process server, stream the NDJSON results, and record the pass with shard/persistence cache stats (0 = skip)")
 		tuneN    = flag.Int("tune-requests", 0, "also measure the adaptive tuning search: POST /v1/tune with this many candidates to an in-process server, stream the NDJSON rounds, and record the winner, budget, and cache delta (0 = skip)")
 		simN     = flag.Int("sim-passes", 0, "also measure raw event-kernel throughput (sim.Workout events/sec and allocs/event) plus uncached model-layer evaluation cost (core.Evaluate eval_ms and allocs_per_eval), this many passes of each (0 = skip)")
+		clusterN = flag.Int("cluster-requests", 0, "also measure the distributed serving tier: spawn -cluster-nodes real serve processes peered over a shared cache dir, fan this many duplicate evaluate requests across them, restart one node, and record both passes with aggregate peering counters (0 = skip)")
+		clusterK = flag.Int("cluster-nodes", 3, "fleet size for -cluster-requests")
+
+		// Internal child-process flags for -cluster-requests: the parent
+		// re-execs this binary once per node with these set.
+		serveNode    = flag.String("serve-node", "", "internal: run as one cluster serve node on this address instead of benching")
+		nodePeers    = flag.String("node-peers", "", "internal: comma-separated fleet membership for -serve-node")
+		nodeCacheDir = flag.String("node-cache-dir", "", "internal: shared persistent cache directory for -serve-node")
 	)
 	pf := cli.RegisterPlatformFlags()
 	flag.Parse()
 	jsonPath = *jsonOut
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *serveNode != "" {
+		if err := runServeNode(ctx, *serveNode, *nodePeers, *nodeCacheDir, *scale, *reps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "stellar-bench (serve node):", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	plat, cache, err := pf.Build()
 	if err != nil {
@@ -180,9 +216,6 @@ func main() {
 	if *repeat < 1 {
 		*repeat = 1
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	run := func(id string, pass int) {
 		meter := newSimMeter()
@@ -216,7 +249,7 @@ func main() {
 	ids := []string{}
 	if *fig != "" {
 		ids = append(ids, *fig)
-	} else if *serveN == 0 && *sweepN == 0 && *tuneN == 0 && *simN == 0 {
+	} else if *serveN == 0 && *sweepN == 0 && *tuneN == 0 && *simN == 0 && *clusterN == 0 {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
@@ -269,6 +302,19 @@ func main() {
 		records = append(records, rec)
 		fmt.Printf("(tune: %d candidates, %d evaluations over %d rounds in %.3fs, winner %.2fx, cache: %s)\n",
 			rec.Requests, rec.Evaluations, rec.Rounds, rec.Seconds, rec.Speedup, rec.Cache)
+	}
+
+	if *clusterN > 0 {
+		recs, err := clusterPass(ctx, cfg, *clusterN, *clusterK)
+		if err != nil {
+			fatal(fmt.Errorf("cluster: %w", err))
+		}
+		records = append(records, recs...)
+		for _, rec := range recs {
+			fmt.Printf("(cluster pass %d: %d requests over %d nodes in %.3fs, %.1f req/s, forwards %d, coalesced %d, misses %d, disk hits %d)\n",
+				rec.Pass, rec.Requests, rec.Nodes, rec.Seconds, rec.RPS,
+				rec.Forwards, rec.CoalescedRemote, rec.Cache.Misses, rec.Cache.DiskHits)
+		}
 	}
 
 	if cache != nil && *pf.CacheStats {
@@ -359,11 +405,14 @@ func evalPass(ctx context.Context, pass int) (benchRecord, error) {
 // shared run cache, so the rate reflects serving overhead at steady state.
 func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
 	cfg = cfg.Defaults()
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Backend: plat, Cache: cache,
 		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
 		Workers: cfg.Parallel, Parallel: 1, Backlog: n,
 	})
+	if err != nil {
+		return benchRecord{}, err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -418,11 +467,14 @@ func servePass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 // the disk directory absorbed.
 func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
 	cfg = cfg.Defaults()
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Backend: plat, Cache: cache,
 		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
 		Workers: cfg.Parallel, Parallel: 1, Backlog: n, MaxSweepCells: n,
 	})
+	if err != nil {
+		return benchRecord{}, err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -495,11 +547,14 @@ func sweepPass(ctx context.Context, plat platform.Platform, cache *runcache.Cach
 // misses and the byte-identical winner.
 func tunePass(ctx context.Context, plat platform.Platform, cache *runcache.Cache, cfg experiments.Config, n int) (benchRecord, error) {
 	cfg = cfg.Defaults()
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Backend: plat, Cache: cache,
 		Scale: cfg.Scale, Seed: cfg.Seed, Reps: cfg.Reps,
 		Workers: cfg.Parallel, Parallel: 1, Backlog: n, MaxTuneCandidates: n,
 	})
+	if err != nil {
+		return benchRecord{}, err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -10,6 +10,10 @@
 //	stellar-serve -cache-dir cachedir      # persist runs; warm-start on restart
 //	stellar-serve -platform replay -record-dir runs
 //	                                       # serve recorded runs, no simulation
+//	stellar-serve -self h1:8351 -peers h1:8351,h2:8351,h3:8351 -cache-dir /shared
+//	                                       # join a fleet: RunSpec keys rendezvous-
+//	                                       # hash to one owner, duplicates anywhere
+//	                                       # run exactly one simulation cluster-wide
 //
 // Example session:
 //
@@ -42,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,15 +59,18 @@ import (
 // serveConfig carries the parsed flags; split from main so the end-to-end
 // smoke test can drive the exact serving path on an ephemeral port.
 type serveConfig struct {
-	addr     string
-	workers  int
-	backlog  int
-	reps     int
-	scale    float64
-	seed     int64
-	parallel int
-	pprof    bool
-	pf       *cli.PlatformFlags
+	addr        string
+	workers     int
+	backlog     int
+	reps        int
+	scale       float64
+	seed        int64
+	parallel    int
+	pprof       bool
+	peers       string // comma-separated fleet membership (host:port each)
+	self        string // this node's advertised host:port within -peers
+	tenantQuota int
+	pf          *cli.PlatformFlags
 }
 
 func main() {
@@ -75,6 +83,9 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 7, "default seed base for requests that omit one")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "intra-job worker pool size (repetitions, figure arms)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated fleet membership (host:port per node) enabling cache peering; empty = single node")
+	flag.StringVar(&cfg.self, "self", "", "this node's advertised host:port within -peers (required with -peers; must be dialable by the other nodes)")
+	flag.IntVar(&cfg.tenantQuota, "tenant-quota", 0, "max queued jobs per X-Stellar-Tenant (0 = only the shared backlog bounds)")
 	cfg.pf = cli.RegisterPlatformFlags()
 	flag.Parse()
 
@@ -85,6 +96,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stellar-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the comma-separated -peers flag, dropping empty
+// entries and surrounding whitespace.
+func splitPeers(csv string) []string {
+	if csv == "" {
+		return nil
+	}
+	var peers []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // serve runs the server until ctx is cancelled. onReady, when non-nil, is
@@ -99,7 +125,7 @@ func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) erro
 	// over the selected backend — honouring -cache-size, -cache-shards, and
 	// -cache-dir, so `stellar-serve -cache-dir d` warm-starts from d's
 	// recorded runs after a restart.
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Backend:     plat,
 		Cache:       cache,
 		CacheSize:   *cfg.pf.CacheSize,
@@ -112,7 +138,13 @@ func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) erro
 		Backlog:     cfg.backlog,
 		Parallel:    cfg.parallel,
 		Pprof:       cfg.pprof,
+		Peers:       splitPeers(cfg.peers),
+		Self:        cfg.self,
+		TenantQuota: cfg.tenantQuota,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -128,6 +160,9 @@ func serve(ctx context.Context, cfg serveConfig, onReady func(addr string)) erro
 	}
 	log.Printf("stellar-serve: listening on %s [platform %s, %d workers, backlog %d, scale %g]",
 		ln.Addr(), srv.Platform().Name(), cfg.workers, cfg.backlog, cfg.scale)
+	if cfg.self != "" {
+		log.Printf("stellar-serve: cache peering as %s across %q", cfg.self, cfg.peers)
+	}
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}

@@ -1,0 +1,113 @@
+package peering
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// syntheticKeys returns n hex SHA-256 strings shaped exactly like real
+// RunSpec keys.
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func TestRingDistributionNearUniform(t *testing.T) {
+	peers := []string{
+		"10.0.0.1:8351", "10.0.0.2:8351", "10.0.0.3:8351",
+		"10.0.0.4:8351", "10.0.0.5:8351",
+	}
+	ring := NewRing(peers)
+	const n = 10000
+	counts := map[string]int{}
+	for _, key := range syntheticKeys(n) {
+		counts[ring.Owner(key)]++
+	}
+	want := float64(n) / float64(len(peers))
+	for _, p := range peers {
+		got := float64(counts[p])
+		dev := (got - want) / want
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > 0.15 {
+			t.Errorf("peer %s owns %d keys, want %.0f +/- 15%% (deviation %.1f%%)",
+				p, counts[p], want, dev*100)
+		}
+	}
+}
+
+func TestRingStableUnderMembershipChange(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	full := NewRing(peers)
+	keys := syntheticKeys(10000)
+
+	// Removing one member must remap only the keys it owned: every key
+	// owned by a surviving member keeps its owner.
+	without := NewRing(peers[:4]) // drops e:1
+	moved := 0
+	for _, key := range keys {
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before == "e:1" {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key[:12], before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned zero keys; distribution test should have caught this")
+	}
+
+	// Adding a member must steal keys only for itself: a key that changes
+	// owner changes it to the new member.
+	grown := NewRing(append(append([]string(nil), peers...), "f:1"))
+	stolen := 0
+	for _, key := range keys {
+		before := full.Owner(key)
+		after := grown.Owner(key)
+		if after == before {
+			continue
+		}
+		if after != "f:1" {
+			t.Fatalf("key %s moved %s -> %s though only f:1 joined", key[:12], before, after)
+		}
+		stolen++
+	}
+	if stolen == 0 {
+		t.Fatal("new member stole zero keys")
+	}
+}
+
+func TestRingAgreesAcrossOrderingAndDuplicates(t *testing.T) {
+	a := NewRing([]string{"x:1", "y:1", "z:1"})
+	b := NewRing([]string{"z:1", "x:1", "y:1", "x:1", ""})
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d, %d, want 3, 3", a.Len(), b.Len())
+	}
+	for _, key := range syntheticKeys(100) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %s: %s vs %s", key[:12], a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", owner)
+	}
+	one := NewRing([]string{"solo:1"})
+	for _, key := range syntheticKeys(10) {
+		if owner := one.Owner(key); owner != "solo:1" {
+			t.Fatalf("single ring owner = %q, want solo:1", owner)
+		}
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"sync/atomic"
 )
 
-// ErrQueueFull is returned by Submit and Do when the backlog is at capacity.
-// Callers at a serving boundary should translate it into back-pressure
-// (HTTP 429) rather than blocking request handlers on a saturated queue.
+// ErrQueueFull is returned by Submit and Do when admission fails: either the
+// shared backlog is at capacity or the submitting tenant has exhausted its
+// per-tenant quota. Callers at a serving boundary should translate it into
+// back-pressure (HTTP 429) rather than blocking request handlers on a
+// saturated queue.
 var ErrQueueFull = errors.New("pool: queue backlog full")
 
 // ErrQueueClosed is returned by Submit, Do, and DoWait after Close. It is
@@ -35,29 +37,60 @@ type queueTask struct {
 // fails fast with ErrQueueFull so admission control happens at the edge
 // instead of by unbounded buffering. Each job carries its own context, so
 // cancelling one caller (a disconnected HTTP client) aborts only that job.
+//
+// Admission is tenant-aware: SubmitAs/DoAs/DoWaitAs tag work with a tenant
+// name, queued work is dispatched round-robin across tenants (one noisy
+// tenant cannot starve the others even when it filled the backlog first),
+// and an optional per-tenant quota caps how much of the backlog any single
+// tenant may hold. The untagged entry points use the "" tenant, so a
+// single-tenant queue behaves exactly like the pre-tenant implementation.
 type Queue struct {
-	// mu is an RWMutex so blocking senders (DoWait) can hold a read lock
-	// across their channel send: Close takes the write lock, so it cannot
-	// close the task channel while any send is in progress, and senders
-	// cannot begin once closed is set.
-	mu      sync.RWMutex
-	tasks   chan queueTask
+	backlog int
+	quota   int // per-tenant waiting cap (== backlog when unset: no per-tenant bound)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // workers wait here for queued tasks
+	slotCh  chan struct{}
 	closed  bool
+	idle    int // workers parked waiting for a task
+	waiting int // queued tasks across all tenants
+	tenants map[string][]queueTask
+	rr      []string // round-robin tenant dispatch order
+	rrIdx   int
+
 	wg      sync.WaitGroup
 	running atomic.Int64
 }
 
 // NewQueue starts a queue with the given worker count (values below 1 mean
 // one worker) and backlog capacity (values below 0 mean 0: Submit succeeds
-// only when a worker is free to pick the job up promptly).
+// only when a worker is free to pick the job up promptly). No per-tenant
+// quota is enforced; see NewTenantQueue.
 func NewQueue(workers, backlog int) *Queue {
+	return NewTenantQueue(workers, backlog, 0)
+}
+
+// NewTenantQueue is NewQueue with a per-tenant admission quota: at most
+// `quota` jobs from any one tenant may wait at a time (values below 1, or
+// above backlog, mean no per-tenant bound beyond the shared backlog).
+// Tenants always retain round-robin dispatch fairness either way.
+func NewTenantQueue(workers, backlog, quota int) *Queue {
 	if workers < 1 {
 		workers = 1
 	}
 	if backlog < 0 {
 		backlog = 0
 	}
-	q := &Queue{tasks: make(chan queueTask, backlog)}
+	if quota < 1 || quota > backlog {
+		quota = backlog
+	}
+	q := &Queue{
+		backlog: backlog,
+		quota:   quota,
+		slotCh:  make(chan struct{}),
+		tenants: make(map[string][]queueTask),
+	}
+	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go q.worker()
@@ -67,7 +100,26 @@ func NewQueue(workers, backlog int) *Queue {
 
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for t := range q.tasks {
+	q.mu.Lock()
+	for {
+		if q.waiting == 0 {
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			// Going idle grows admission capacity (a zero-backlog queue
+			// admits exactly as many jobs as there are parked workers), so
+			// blocked DoWait producers get woken to retry.
+			q.idle++
+			q.notifySlotLocked()
+			q.cond.Wait()
+			q.idle--
+			continue
+		}
+		t := q.popLocked()
+		q.notifySlotLocked()
+		q.mu.Unlock()
+
 		q.running.Add(1)
 		// A job whose caller already gave up still runs: fn receives the
 		// dead context and is expected to unwind immediately (every run
@@ -77,48 +129,121 @@ func (q *Queue) worker() {
 		t.fn(t.ctx)
 		q.running.Add(-1)
 		close(t.done)
+
+		q.mu.Lock()
 	}
+}
+
+// popLocked dequeues the next task round-robin across tenants. Drained
+// tenants leave the rotation immediately, so Depths never reports empty
+// tenants and a returning tenant re-enters at the back of the rotation.
+func (q *Queue) popLocked() queueTask {
+	for i := 0; i < len(q.rr); i++ {
+		idx := (q.rrIdx + i) % len(q.rr)
+		name := q.rr[idx]
+		ts := q.tenants[name]
+		if len(ts) == 0 {
+			continue
+		}
+		t := ts[0]
+		if len(ts) == 1 {
+			delete(q.tenants, name)
+			q.rr = append(q.rr[:idx], q.rr[idx+1:]...)
+			if len(q.rr) == 0 {
+				q.rrIdx = 0
+			} else {
+				q.rrIdx = idx % len(q.rr)
+			}
+		} else {
+			q.tenants[name] = ts[1:]
+			q.rrIdx = (idx + 1) % len(q.rr)
+		}
+		q.waiting--
+		return t
+	}
+	panic("pool: popLocked with no queued tasks")
+}
+
+// admitLocked reports whether a job for tenant fits right now. Idle workers
+// extend both bounds: a parked worker will take the job immediately, so it
+// never really occupies backlog — this is what preserves the historical
+// "zero-backlog queue admits while a worker is receiving" semantics.
+func (q *Queue) admitLocked(tenant string) bool {
+	if q.waiting >= q.backlog+q.idle {
+		return false
+	}
+	return len(q.tenants[tenant]) < q.quota+q.idle
+}
+
+func (q *Queue) pushLocked(tenant string, t queueTask) {
+	ts, ok := q.tenants[tenant]
+	if !ok {
+		q.rr = append(q.rr, tenant)
+	}
+	q.tenants[tenant] = append(ts, t)
+	q.waiting++
+	q.cond.Signal()
+}
+
+// notifySlotLocked wakes every producer blocked on admission; each retries
+// under the lock, so spurious wakeups are safe.
+func (q *Queue) notifySlotLocked() {
+	close(q.slotCh)
+	q.slotCh = make(chan struct{})
 }
 
 // Submit enqueues fn to run with ctx on a free worker and returns without
-// waiting. It fails fast with ErrQueueFull when the backlog is at capacity
-// and ErrQueueClosed after Close.
+// waiting. It fails fast with ErrQueueFull when admission fails and
+// ErrQueueClosed after Close.
 func (q *Queue) Submit(ctx context.Context, fn func(context.Context)) error {
-	_, err := q.submit(ctx, fn)
+	return q.SubmitAs(ctx, "", fn)
+}
+
+// SubmitAs is Submit under a tenant name for quota accounting and fair
+// dispatch.
+func (q *Queue) SubmitAs(ctx context.Context, tenant string, fn func(context.Context)) error {
+	_, err := q.submit(ctx, tenant, fn)
 	return err
 }
 
-func (q *Queue) submit(ctx context.Context, fn func(context.Context)) (chan struct{}, error) {
+func (q *Queue) submit(ctx context.Context, tenant string, fn func(context.Context)) (chan struct{}, error) {
 	t := queueTask{ctx: ctx, fn: fn, done: make(chan struct{})}
-	q.mu.RLock()
-	defer q.mu.RUnlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
 		return nil, ErrQueueClosed
 	}
-	select {
-	case q.tasks <- t:
-		return t.done, nil
-	default:
+	if !q.admitLocked(tenant) {
 		return nil, ErrQueueFull
 	}
+	q.pushLocked(tenant, t)
+	return t.done, nil
 }
 
-// submitWait is submit without the fail-fast: when the backlog is full it
-// blocks until a slot frees up or ctx dies. The read lock is held across
-// the blocking send (see the Queue.mu comment), which is safe because
-// workers keep draining the channel regardless of the lock.
-func (q *Queue) submitWait(ctx context.Context, fn func(context.Context)) (chan struct{}, error) {
+// submitWait is submit without the fail-fast: when admission fails it
+// blocks until capacity frees up (a task is dispatched or a worker goes
+// idle) or ctx dies. No lock is held while parked.
+func (q *Queue) submitWait(ctx context.Context, tenant string, fn func(context.Context)) (chan struct{}, error) {
 	t := queueTask{ctx: ctx, fn: fn, done: make(chan struct{})}
-	q.mu.RLock()
-	defer q.mu.RUnlock()
-	if q.closed {
-		return nil, ErrQueueClosed
-	}
-	select {
-	case q.tasks <- t:
-		return t.done, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	q.mu.Lock()
+	for {
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrQueueClosed
+		}
+		if q.admitLocked(tenant) {
+			q.pushLocked(tenant, t)
+			q.mu.Unlock()
+			return t.done, nil
+		}
+		ch := q.slotCh
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		q.mu.Lock()
 	}
 }
 
@@ -128,7 +253,12 @@ func (q *Queue) submitWait(ctx context.Context, fn func(context.Context)) (chan 
 // context) but Do still waits for fn to return before it does: the closure
 // may reference caller-owned state, so returning while it runs would race.
 func (q *Queue) Do(ctx context.Context, fn func(context.Context)) error {
-	done, err := q.submit(ctx, fn)
+	return q.DoAs(ctx, "", fn)
+}
+
+// DoAs is Do under a tenant name.
+func (q *Queue) DoAs(ctx context.Context, tenant string, fn func(context.Context)) error {
+	done, err := q.submit(ctx, tenant, fn)
 	if err != nil {
 		return err
 	}
@@ -149,7 +279,14 @@ func (q *Queue) Do(ctx context.Context, fn func(context.Context)) error {
 // the former to service-unavailable and treat the latter as their own
 // cancellation.
 func (q *Queue) DoWait(ctx context.Context, fn func(context.Context)) error {
-	done, err := q.submitWait(ctx, fn)
+	return q.DoWaitAs(ctx, "", fn)
+}
+
+// DoWaitAs is DoWait under a tenant name; the per-tenant quota applies
+// while waiting, so one tenant's parked batch cannot monopolize slots as
+// they free up.
+func (q *Queue) DoWaitAs(ctx context.Context, tenant string, fn func(context.Context)) error {
+	done, err := q.submitWait(ctx, tenant, fn)
 	if err != nil {
 		return err
 	}
@@ -163,13 +300,35 @@ func (q *Queue) DoWait(ctx context.Context, fn func(context.Context)) error {
 // body (once the response header is out, an in-stream shutdown can only be
 // reported in-band).
 func (q *Queue) Closed() bool {
-	q.mu.RLock()
-	defer q.mu.RUnlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return q.closed
 }
 
 // Depth returns the number of jobs waiting for a worker.
-func (q *Queue) Depth() int { return len(q.tasks) }
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting
+}
+
+// Depths returns the per-tenant waiting counts (nil when nothing waits).
+// Tenants with no queued work are absent, not zero.
+func (q *Queue) Depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tenants) == 0 {
+		return nil
+	}
+	m := make(map[string]int, len(q.tenants))
+	for name, ts := range q.tenants {
+		m[name] = len(ts)
+	}
+	return m
+}
+
+// Quota returns the per-tenant waiting cap admission enforces.
+func (q *Queue) Quota() int { return q.quota }
 
 // Running returns the number of jobs currently executing.
 func (q *Queue) Running() int { return int(q.running.Load()) }
@@ -178,17 +337,14 @@ func (q *Queue) Running() int { return int(q.running.Load()) }
 // returns. Jobs that should not run to completion must be cancelled through
 // their own contexts before Close is called.
 func (q *Queue) Close() {
-	// The write lock waits out any in-progress blocking send (DoWait holds
-	// the read lock across it), so closing the channel can never race a
-	// send. Workers keep draining while we wait, so those sends complete.
 	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		q.wg.Wait()
-		return
+	if !q.closed {
+		q.closed = true
+		// Wake parked workers (they exit once the backlog drains) and any
+		// blocked producers (they must observe ErrQueueClosed, not hang).
+		q.cond.Broadcast()
+		q.notifySlotLocked()
 	}
-	q.closed = true
-	close(q.tasks)
 	q.mu.Unlock()
 	q.wg.Wait()
 }

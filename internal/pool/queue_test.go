@@ -274,3 +274,144 @@ func TestDoWaitDistinguishesShutdownFromCancel(t *testing.T) {
 	close(release)
 	wg.Wait()
 }
+
+// pinWorkers occupies every worker with a job that blocks until release is
+// closed, so subsequent admissions exercise pure backlog behavior.
+func pinWorkers(t *testing.T, q *Queue, n int) (release chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		if err := q.Submit(context.Background(), func(context.Context) {
+			started <- struct{}{}
+			<-release
+		}); err != nil {
+			t.Fatalf("pin worker %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	return release
+}
+
+// TestQueueTenantQuota: a tenant at its quota gets ErrQueueFull even though
+// the shared backlog has room, and other tenants keep being admitted.
+func TestQueueTenantQuota(t *testing.T) {
+	q := NewTenantQueue(1, 8, 2)
+	defer q.Close()
+	release := pinWorkers(t, q, 1)
+	defer close(release)
+
+	for i := 0; i < 2; i++ {
+		if err := q.SubmitAs(context.Background(), "alice", func(context.Context) {}); err != nil {
+			t.Fatalf("alice submit %d: %v", i, err)
+		}
+	}
+	if err := q.SubmitAs(context.Background(), "alice", func(context.Context) {}); err != ErrQueueFull {
+		t.Fatalf("alice beyond quota = %v, want ErrQueueFull", err)
+	}
+	// The backlog still has 6 free slots; another tenant is unaffected.
+	if err := q.SubmitAs(context.Background(), "bob", func(context.Context) {}); err != nil {
+		t.Fatalf("bob submit: %v", err)
+	}
+	if d := q.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	if got := q.Depths(); got["alice"] != 2 || got["bob"] != 1 {
+		t.Fatalf("Depths = %v, want alice:2 bob:1", got)
+	}
+	if q.Quota() != 2 {
+		t.Fatalf("Quota = %d, want 2", q.Quota())
+	}
+}
+
+// TestQueueTenantFairDispatch: queued work drains round-robin across
+// tenants, so a tenant that filled the backlog first does not starve one
+// that arrived later.
+func TestQueueTenantFairDispatch(t *testing.T) {
+	q := NewTenantQueue(1, 8, 0)
+	release := pinWorkers(t, q, 1)
+
+	var mu sync.Mutex
+	var order []string
+	enqueue := func(tenant string) {
+		if err := q.SubmitAs(context.Background(), tenant, func(context.Context) {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("submit %s: %v", tenant, err)
+		}
+	}
+	// Alice floods first, then bob and carol each add one.
+	enqueue("alice")
+	enqueue("alice")
+	enqueue("alice")
+	enqueue("bob")
+	enqueue("carol")
+
+	close(release)
+	q.Close() // drains in dispatch order on the single worker
+
+	want := []string{"alice", "bob", "carol", "alice", "alice"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %d jobs, want %d (%v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueTenantQuotaDefaultsOff: NewQueue applies no per-tenant bound, so
+// one tenant may use the whole backlog — the pre-tenant behavior.
+func TestQueueTenantQuotaDefaultsOff(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	release := pinWorkers(t, q, 1)
+	defer close(release)
+	for i := 0; i < 4; i++ {
+		if err := q.SubmitAs(context.Background(), "alice", func(context.Context) {}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := q.SubmitAs(context.Background(), "alice", func(context.Context) {}); err != ErrQueueFull {
+		t.Fatalf("beyond backlog = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestQueueDoWaitAsHonoursQuota: a parked DoWaitAs proceeds once its tenant
+// drops back under quota, not merely when any backlog slot frees.
+func TestQueueDoWaitAsHonoursQuota(t *testing.T) {
+	q := NewTenantQueue(1, 8, 1)
+	defer q.Close()
+	release := pinWorkers(t, q, 1)
+
+	ran := make(chan string, 8)
+	if err := q.SubmitAs(context.Background(), "alice", func(context.Context) { ran <- "alice-1" }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- q.DoWaitAs(context.Background(), "alice", func(context.Context) { ran <- "alice-2" })
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("DoWaitAs returned %v while alice was at quota", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release) // alice-1 dispatches; alice drops under quota
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if first := <-ran; first != "alice-1" {
+		t.Fatalf("first dispatched job = %s, want alice-1", first)
+	}
+	if second := <-ran; second != "alice-2" {
+		t.Fatalf("second dispatched job = %s, want alice-2", second)
+	}
+}

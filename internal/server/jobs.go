@@ -27,10 +27,10 @@ const (
 type Job struct {
 	mu       sync.Mutex
 	id       string
-	kind     string // "evaluate" | "figure" | "sweep"
+	kind     string // "evaluate" | "figure" | "sweep" | "tune"
 	target   string // workload or experiment id
 	status   JobStatus
-	errMsg   string
+	errBody  *ErrorBody
 	result   json.RawMessage
 	cache    *runcache.Stats // cache-activity delta attributed to this job
 	done     int             // grid cells completed so far (sweep jobs)
@@ -41,7 +41,17 @@ type Job struct {
 	cancel   context.CancelFunc
 }
 
-// JobView is the wire form of a job for /v1/jobs responses.
+// JobProgress is batch progress for jobs that run in counted units (sweep
+// cells, tune rounds); single-unit jobs omit the block entirely.
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobView is the unified wire form of a job: every kind — evaluate, figure,
+// sweep, tune — serializes to the same shape (id, kind, target, status,
+// timestamps, optional progress, error envelope on failure, result on
+// success), so clients poll one resource regardless of what produced it.
 type JobView struct {
 	ID       string          `json:"id"`
 	Kind     string          `json:"kind"`
@@ -50,13 +60,10 @@ type JobView struct {
 	Created  time.Time       `json:"created"`
 	Started  *time.Time      `json:"started,omitempty"`
 	Finished *time.Time      `json:"finished,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	Progress *JobProgress    `json:"progress,omitempty"`
+	Error    *ErrorBody      `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Cache    *runcache.Stats `json:"cache,omitempty"`
-	// Done/Total report batch progress for sweep jobs (cells completed out
-	// of cells submitted); both are zero for evaluate and figure jobs.
-	Done  int `json:"done,omitempty"`
-	Total int `json:"total,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -64,8 +71,10 @@ func (j *Job) view() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.id, Kind: j.kind, Target: j.target, Status: j.status,
-		Created: j.created, Error: j.errMsg, Result: j.result, Cache: j.cache,
-		Done: j.done, Total: j.total,
+		Created: j.created, Error: j.errBody, Result: j.result, Cache: j.cache,
+	}
+	if j.total > 0 {
+		v.Progress = &JobProgress{Done: j.done, Total: j.total}
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -125,7 +134,7 @@ func (j *Job) fail(err error, cache *runcache.Stats) {
 	} else {
 		j.status = JobFailed
 	}
-	j.errMsg = err.Error()
+	j.errBody = errorBodyFor(err)
 	j.cache = cache
 	j.finished = time.Now()
 	j.mu.Unlock()
@@ -203,15 +212,18 @@ func (s *jobStore) get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// list returns snapshots of all retained jobs in creation order.
-func (s *jobStore) list() []JobView {
+// list returns snapshots of retained jobs in creation order, filtered to
+// one kind when kind is non-empty.
+func (s *jobStore) list(kind string) []JobView {
 	s.mu.Lock()
 	jobs := make([]*Job, len(s.order))
 	copy(jobs, s.order)
 	s.mu.Unlock()
-	out := make([]JobView, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.view()
+	out := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		if v := j.view(); kind == "" || v.Kind == kind {
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -219,7 +231,7 @@ func (s *jobStore) list() []JobView {
 // counts tallies retained jobs by status for /v1/stats.
 func (s *jobStore) counts() map[JobStatus]int {
 	out := make(map[JobStatus]int)
-	for _, v := range s.list() {
+	for _, v := range s.list("") {
 		out[v.Status]++
 	}
 	return out

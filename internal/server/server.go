@@ -22,11 +22,22 @@
 //	POST   /v1/sweeps       measure a parameter grid (streamed NDJSON)
 //	POST   /v1/tune         adaptive tuning search (streamed NDJSON rounds)
 //	POST   /v1/figures/{id} submit a figure/sweep regeneration job (202)
-//	GET    /v1/jobs         list retained jobs
+//	GET    /v1/jobs         list retained jobs (?kind= filters)
 //	GET    /v1/jobs/{id}    poll one job's status and result
 //	DELETE /v1/jobs/{id}    cancel a queued or running job
-//	GET    /v1/stats        cache counters, queue depth, job tallies
+//	GET    /v1/stats        cache counters, queue depth, cluster gauges, job tallies
+//	GET    /v1/version      build info and API revision
 //	GET    /v1/healthz      liveness probe
+//	POST   /internal/v1/run fleet-internal forwarded run (peering only)
+//
+// Errors are structured: every non-2xx body is {"error": {"code",
+// "message", "details"}} with a machine-readable code (see errors.go);
+// 429s carry Retry-After.
+//
+// With -peers/-self configured, the server joins a fleet: each RunSpec key
+// has one rendezvous-hash owner (internal/cluster/peering), non-owner
+// nodes forward runs to the owner's /internal/v1/run, and admission is
+// tenant-aware via the X-Stellar-Tenant header.
 package server
 
 import (
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"stellar/internal/cluster"
+	"stellar/internal/cluster/peering"
 	"stellar/internal/core"
 	"stellar/internal/experiments"
 	"stellar/internal/llm/simllm"
@@ -105,6 +117,21 @@ type Options struct {
 	// before any evaluation runs.
 	MaxTuneCandidates int
 
+	// Peers is the full fleet membership for cache peering: every node's
+	// advertised host:port (this node's entry included — it is added if
+	// absent). Empty disables peering and the server runs single-node.
+	// Self is this node's own advertised host:port; required when Peers is
+	// non-empty, and it must be the address remote nodes can actually dial
+	// back (not the listen wildcard).
+	Peers []string
+	Self  string
+
+	// TenantQuota bounds how many queued jobs any one tenant (the
+	// X-Stellar-Tenant request header; absent means the "" tenant) may hold
+	// at a time. 0 means no per-tenant bound beyond the shared Backlog.
+	// Dispatch is round-robin across tenants either way.
+	TenantQuota int
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler, so
 	// `go tool pprof http://host/debug/pprof/profile` can profile the
 	// serving process under live load — the measure-first discipline the
@@ -153,6 +180,8 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts  Options
 	cache *runcache.Cache
+	plat  platform.Platform // what the engine runs on: the cache, or the fleet over it
+	fleet *peering.Fleet    // nil when peering is not configured
 	eng   *core.Engine
 	queue *pool.Queue
 	jobs  *jobStore
@@ -168,9 +197,11 @@ type Server struct {
 // New builds a server. Call Close when done to cancel outstanding jobs and
 // drain the queue. The server owns the process-lifetime root that parents
 // asynchronous jobs; request contexts parent synchronous work instead.
+// Construction fails only on invalid peering configuration (Peers without a
+// usable Self).
 //
 //stellar:allow-background
-func New(opts Options) *Server {
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	cache := opts.Cache
 	if cache == nil {
@@ -184,6 +215,18 @@ func New(opts Options) *Server {
 			Dir:      opts.CacheDir,
 		})
 	}
+	// The fleet interposes between the engine and the node-local cache:
+	// owned keys run here, the rest forward to their owners. /v1/stats and
+	// warm-start still read the local cache directly.
+	plat := platform.Platform(cache)
+	var fleet *peering.Fleet
+	if len(opts.Peers) > 0 {
+		f, err := peering.New(opts.Self, opts.Peers, cache)
+		if err != nil {
+			return nil, err
+		}
+		fleet, plat = f, f
+	}
 	eng := core.New(simllm.New(simllm.GPT4o), core.Options{
 		Spec:          opts.Spec,
 		TuningModel:   simllm.Claude37,
@@ -192,26 +235,29 @@ func New(opts Options) *Server {
 		Scale:         opts.Scale,
 		Seed:          opts.Seed,
 		Parallel:      opts.Parallel,
-		Platform:      cache,
+		Platform:      plat,
 	})
 	ctx, stop := context.WithCancel(context.Background())
 	return &Server{
 		opts:    opts,
 		cache:   cache,
+		plat:    plat,
+		fleet:   fleet,
 		eng:     eng,
-		queue:   pool.NewQueue(opts.Workers, opts.Backlog),
+		queue:   pool.NewTenantQueue(opts.Workers, opts.Backlog, opts.TenantQuota),
 		jobs:    newJobStore(opts.MaxJobs),
 		start:   time.Now(),
 		baseCtx: ctx,
 		stop:    stop,
-	}
+	}, nil
 }
 
 // Cache exposes the process-wide run cache (tests and stats reporting).
 func (s *Server) Cache() *runcache.Cache { return s.cache }
 
-// Platform returns the measurement stack requests execute on.
-func (s *Server) Platform() platform.Platform { return s.cache }
+// Platform returns the measurement stack requests execute on: the local
+// cache, or the peering fleet wrapped over it.
+func (s *Server) Platform() platform.Platform { return s.plat }
 
 // Close cancels all asynchronous jobs and waits for the queue to drain.
 func (s *Server) Close() {
@@ -230,9 +276,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("POST "+peering.InternalRunPath, s.handleInternalRun)
 	if s.opts.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -284,7 +332,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, "missing workload")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing workload")
 		return
 	}
 	reps := req.Reps
@@ -292,7 +340,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		reps = s.opts.Reps
 	}
 	if reps < 1 || reps > s.opts.MaxReps {
-		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "reps", "max": s.opts.MaxReps},
+			"reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
 		return
 	}
 	seed := req.Seed
@@ -309,7 +359,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var faults lustre.FaultPlan
 	if req.Faults != nil {
 		if err := req.Faults.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, CodeInvalidFaultPlan, "%v", err)
 			return
 		}
 		faults = *req.Faults
@@ -327,8 +377,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		runErr error
 	)
 	// Synchronous: Do returns only after the closure finished, so
-	// resp/runErr are safely published.
-	qerr := s.queue.Do(rctx, func(ctx context.Context) {
+	// resp/runErr are safely published. Admission is tenant-aware: the
+	// header's tenant pays quota and gets fair dispatch.
+	qerr := s.queue.DoAs(rctx, tenantOf(r), func(ctx context.Context) {
 		// Cancelled (DELETE or client disconnect) while still waiting for a
 		// worker: report cancelled without starting the measurement.
 		if err := ctx.Err(); err != nil {
@@ -357,7 +408,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			MeanSeconds:  sum.Mean,
 			CI90Seconds:  sum.CI90,
 			WallsSeconds: walls,
-			Platform:     s.cache.Name(),
+			Platform:     s.plat.Name(),
 		}
 		if !faults.IsZero() {
 			resp.Faults = &faults
@@ -365,7 +416,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	})
 	if qerr != nil {
 		job.fail(qerr, nil)
-		writeError(w, queueErrStatus(qerr), "%v", qerr)
+		writeError(w, queueErrStatus(qerr), queueErrCode(qerr), "%v", qerr)
 		return
 	}
 	if runErr != nil {
@@ -374,13 +425,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(runErr, workload.ErrUnknown) {
 			status = http.StatusBadRequest
 		}
-		writeError(w, status, "%v", runErr)
+		writeErrorBody(w, status, *errorBodyFor(runErr))
 		return
 	}
 	data, err := json.Marshal(resp)
 	if err != nil {
 		job.fail(err, nil)
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	job.finish(data, nil)
@@ -407,7 +458,9 @@ type FigureResult struct {
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !experiments.Valid(id) {
-		writeError(w, http.StatusNotFound, "unknown experiment %q (known: %v)", id, experiments.IDs())
+		writeErrorDetails(w, http.StatusNotFound, CodeNotFound,
+			map[string]any{"known": experiments.IDs()},
+			"unknown experiment %q (known: %v)", id, experiments.IDs())
 		return
 	}
 	var req FigureRequest
@@ -419,11 +472,15 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	// Overrides get the same admission checks as evaluate: a queue worker
 	// must never be handed values that crash or pin it.
 	if req.Reps < 0 || req.Reps > s.opts.MaxReps {
-		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, req.Reps)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "reps", "max": s.opts.MaxReps},
+			"reps must be in [1, %d], got %d", s.opts.MaxReps, req.Reps)
 		return
 	}
 	if req.Scale < 0 || req.Scale > 1.0 {
-		writeError(w, http.StatusBadRequest, "scale must be in (0, 1.0], got %g", req.Scale)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "scale"},
+			"scale must be in (0, 1.0], got %g", req.Scale)
 		return
 	}
 	cfg := experiments.Config{
@@ -448,7 +505,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	job.setCancel(cancel)
 	before := s.cache.Stats()
-	err := s.queue.Submit(jctx, func(ctx context.Context) {
+	err := s.queue.SubmitAs(jctx, tenantOf(r), func(ctx context.Context) {
 		defer cancel()
 		// Cancelled while still queued (DELETE before a worker was free, or
 		// server shutdown): the job must report cancelled promptly and its
@@ -483,7 +540,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		cancel()
 		job.fail(err, nil)
-		writeError(w, queueErrStatus(err), "%v", err)
+		writeError(w, queueErrStatus(err), queueErrCode(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.view())
@@ -493,14 +550,24 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // Jobs and stats
 // ----------------------------------------------------------------------
 
+// jobKinds is the closed set GET /v1/jobs?kind= accepts.
+var jobKinds = map[string]bool{"evaluate": true, "figure": true, "sweep": true, "tune": true}
+
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.jobs.list())
+	kind := r.URL.Query().Get("kind")
+	if kind != "" && !jobKinds[kind] {
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "kind", "known": []string{"evaluate", "figure", "sweep", "tune"}},
+			"unknown job kind %q", kind)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.list(kind))
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.view())
@@ -509,7 +576,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	if job.terminal() {
@@ -520,37 +587,51 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.view())
 }
 
-// QueueStats is the queue capacity snapshot in /v1/stats.
+// QueueStats is the queue capacity snapshot in /v1/stats. Tenants reports
+// per-tenant queued depth (absent when nothing waits); TenantQuota the
+// per-tenant admission cap (absent when only the shared backlog bounds).
 type QueueStats struct {
-	Workers int `json:"workers"`
-	Backlog int `json:"backlog"`
-	Depth   int `json:"depth"`   // jobs waiting for a worker
-	Running int `json:"running"` // jobs currently executing
+	Workers     int            `json:"workers"`
+	Backlog     int            `json:"backlog"`
+	Depth       int            `json:"depth"`   // jobs waiting for a worker
+	Running     int            `json:"running"` // jobs currently executing
+	TenantQuota int            `json:"tenant_quota,omitempty"`
+	Tenants     map[string]int `json:"tenants,omitempty"`
 }
 
 // StatsResponse is the capacity-monitoring snapshot: run cache
-// effectiveness counters (process lifetime), queue depth, and job tallies.
+// effectiveness counters (process lifetime), queue depth, cluster peering
+// gauges (when configured), and job tallies. Cache and Cluster counters
+// both support before/after Delta() accounting.
 type StatsResponse struct {
 	Platform      string            `json:"platform"`
 	UptimeSeconds float64           `json:"uptime_s"`
 	Cache         runcache.Stats    `json:"cache"`
 	Queue         QueueStats        `json:"queue"`
+	Cluster       *peering.Stats    `json:"cluster,omitempty"`
 	Jobs          map[JobStatus]int `json:"jobs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Platform:      s.cache.Name(),
+	resp := StatsResponse{
+		Platform:      s.plat.Name(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.cache.Stats(),
 		Queue: QueueStats{
-			Workers: s.opts.Workers,
-			Backlog: s.opts.Backlog,
-			Depth:   s.queue.Depth(),
-			Running: s.queue.Running(),
+			Workers:     s.opts.Workers,
+			Backlog:     s.opts.Backlog,
+			Depth:       s.queue.Depth(),
+			Running:     s.queue.Running(),
+			TenantQuota: s.opts.TenantQuota,
+			Tenants:     s.queue.Depths(),
 		},
 		Jobs: s.jobs.counts(),
-	})
+	}
+	if s.fleet != nil {
+		st := s.fleet.Stats()
+		resp.Cluster = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ----------------------------------------------------------------------
@@ -559,6 +640,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// tenantOf extracts the requester's tenant for quota accounting and fair
+// dispatch. An absent header is the "" tenant — all anonymous traffic
+// shares one bucket, which is exactly the pre-tenant behavior.
+func tenantOf(r *http.Request) string {
+	return r.Header.Get("X-Stellar-Tenant")
 }
 
 // unknownWorkloadText mirrors workload.Catalog's unknown-family error for
@@ -591,7 +679,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -600,7 +688,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	writeRaw(w, status, data)
@@ -611,8 +699,4 @@ func writeRaw(w http.ResponseWriter, status int, data []byte) {
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)+1))
 	w.WriteHeader(status)
 	w.Write(append(data, '\n'))
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -22,7 +22,10 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	if opts.Scale == 0 {
 		opts.Scale = 0.05
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -211,7 +214,7 @@ func TestFigureJobLifecycle(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	if v.Status != JobDone {
-		t.Fatalf("job finished %q (error %q)", v.Status, v.Error)
+		t.Fatalf("job finished %q (error %v)", v.Status, v.Error)
 	}
 	var res FigureResult
 	if err := json.Unmarshal(v.Result, &res); err != nil {
@@ -264,7 +267,7 @@ func TestFigureJobCancel(t *testing.T) {
 			break
 		}
 		if v.Status == JobDone || v.Status == JobFailed {
-			t.Fatalf("job finished %q, want cancelled (error %q)", v.Status, v.Error)
+			t.Fatalf("job finished %q, want cancelled (error %v)", v.Status, v.Error)
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("job stuck in %q after cancel", v.Status)
@@ -298,9 +301,9 @@ func TestEvaluateValidation(t *testing.T) {
 				t.Fatalf("HTTP %d, want %d: %s", resp.StatusCode, tc.status, data)
 			}
 			var e struct {
-				Error string `json:"error"`
+				Error ErrorBody `json:"error"`
 			}
-			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			if err := json.Unmarshal(data, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
 				t.Fatalf("error body not structured: %s", data)
 			}
 		})
@@ -578,7 +581,7 @@ func TestSweepGridExpansion(t *testing.T) {
 		t.Fatalf("jobs = %s (err %v)", data, err)
 	}
 	for _, j := range jobs {
-		if j.Kind != "sweep" || j.Status != JobDone || j.Done != 4 || j.Total != 4 {
+		if j.Kind != "sweep" || j.Status != JobDone || j.Progress == nil || j.Progress.Done != 4 || j.Progress.Total != 4 {
 			t.Fatalf("sweep job view = %+v", j)
 		}
 	}
@@ -710,7 +713,10 @@ func TestWarmStartAcrossRestart(t *testing.T) {
 	}
 
 	run := func() ([][]byte, runcache.Stats) {
-		s := New(Options{Scale: 0.05, CacheDir: dir})
+		s, err := New(Options{Scale: 0.05, CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer s.Close()
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
@@ -756,7 +762,10 @@ func TestFaultedEvaluateDeterminismAcrossRestart(t *testing.T) {
 	clean := `{"workload":"IOR_16M","reps":2,"seed":42}`
 
 	run := func() (faultedBody, cleanBody []byte, st runcache.Stats) {
-		s := New(Options{Scale: 0.05, CacheDir: dir})
+		s, err := New(Options{Scale: 0.05, CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer s.Close()
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
@@ -1037,7 +1046,7 @@ func TestTuneSearchEndToEnd(t *testing.T) {
 		t.Fatalf("jobs = %s (err %v)", data, err)
 	}
 	for _, j := range jobs {
-		if j.Kind != "tune" || j.Status != JobDone || j.Done != footer.Rounds || j.Total != footer.Rounds {
+		if j.Kind != "tune" || j.Status != JobDone || j.Progress == nil || j.Progress.Done != footer.Rounds || j.Progress.Total != footer.Rounds {
 			t.Fatalf("tune job view = %+v", j)
 		}
 	}

@@ -113,11 +113,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, "missing workload")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing workload")
 		return
 	}
 	if !workload.Known(req.Workload) {
-		writeError(w, http.StatusBadRequest, "%s", unknownWorkloadText(req.Workload))
+		writeUnknownWorkload(w, req.Workload)
 		return
 	}
 	reps := req.Reps
@@ -125,7 +125,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		reps = s.opts.Reps
 	}
 	if reps < 1 || reps > s.opts.MaxReps {
-		writeError(w, http.StatusBadRequest, "reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "reps", "max": s.opts.MaxReps},
+			"reps must be in [1, %d], got %d", s.opts.MaxReps, reps)
 		return
 	}
 	seed := req.Seed
@@ -133,7 +135,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		seed = s.opts.Seed
 	}
 	if len(req.Grid) == 0 {
-		writeError(w, http.StatusBadRequest, "missing grid")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing grid")
 		return
 	}
 	// Every grid and base parameter gets the same admission checks as
@@ -145,12 +147,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(vs) == 0 {
-			writeError(w, http.StatusBadRequest, "grid axis %q is empty", k)
+			writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+				map[string]any{"axis": k}, "grid axis %q is empty", k)
 			return
 		}
 		total *= len(vs)
 		if total > s.opts.MaxSweepCells {
-			writeError(w, http.StatusBadRequest, "grid expands past the %d-cell limit", s.opts.MaxSweepCells)
+			writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+				map[string]any{"max_cells": s.opts.MaxSweepCells},
+				"grid expands past the %d-cell limit", s.opts.MaxSweepCells)
 			return
 		}
 	}
@@ -161,6 +166,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cells := expandGrid(req.Base, req.Grid)
+	tenant := tenantOf(r)
 	job := s.jobs.create("sweep", req.Workload)
 	job.setTotal(len(cells))
 	// Like evaluate, the sweep descends from the request context (client
@@ -201,7 +207,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			for k, v := range wire {
 				cfg[k] = v
 			}
-			qerr := s.queue.DoWait(rctx, func(ctx context.Context) {
+			qerr := s.queue.DoWaitAs(rctx, tenant, func(ctx context.Context) {
 				// Cancelled while still queued: never run the measurement.
 				if ctx.Err() != nil {
 					cell.Error = ctx.Err().Error()
@@ -282,11 +288,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) checkParam(w http.ResponseWriter, name string) bool {
 	p, ok := s.eng.Registry().Get(name)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown parameter %q", name)
+		writeErrorDetails(w, http.StatusBadRequest, CodeUnknownParameter,
+			map[string]any{"parameter": name}, "unknown parameter %q", name)
 		return false
 	}
 	if !p.Writable {
-		writeError(w, http.StatusBadRequest, "parameter %q is read-only", name)
+		writeErrorDetails(w, http.StatusBadRequest, CodeReadOnlyParameter,
+			map[string]any{"parameter": name}, "parameter %q is read-only", name)
 		return false
 	}
 	return true

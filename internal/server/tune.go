@@ -98,7 +98,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	// arrives after Close gets its 503 here (shutdown is 503, never 429 —
 	// see pool.ErrQueueClosed).
 	if s.queue.Closed() {
-		writeError(w, http.StatusServiceUnavailable, "%v", pool.ErrQueueClosed)
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "%v", pool.ErrQueueClosed)
 		return
 	}
 	var req TuneRequest
@@ -106,11 +106,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, "missing workload")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "missing workload")
 		return
 	}
 	if !workload.Known(req.Workload) {
-		writeError(w, http.StatusBadRequest, "%s", unknownWorkloadText(req.Workload))
+		writeUnknownWorkload(w, req.Workload)
 		return
 	}
 	for _, name := range req.Space {
@@ -123,11 +123,14 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		candidates = 8
 	}
 	if candidates < 2 || candidates > s.opts.MaxTuneCandidates {
-		writeError(w, http.StatusBadRequest, "candidates must be in [2, %d], got %d", s.opts.MaxTuneCandidates, candidates)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "candidates", "max": s.opts.MaxTuneCandidates},
+			"candidates must be in [2, %d], got %d", s.opts.MaxTuneCandidates, candidates)
 		return
 	}
 	if req.Eta < 0 || req.Eta == 1 {
-		writeError(w, http.StatusBadRequest, "eta must be >= 2, got %d", req.Eta)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "eta"}, "eta must be >= 2, got %d", req.Eta)
 		return
 	}
 	maxReps := req.MaxReps
@@ -135,18 +138,22 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		maxReps = s.opts.Reps
 	}
 	if maxReps < 1 || maxReps > s.opts.MaxReps {
-		writeError(w, http.StatusBadRequest, "max_reps must be in [1, %d], got %d", s.opts.MaxReps, maxReps)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "max_reps", "max": s.opts.MaxReps},
+			"max_reps must be in [1, %d], got %d", s.opts.MaxReps, maxReps)
 		return
 	}
 	if req.MinReps < 0 || req.MinReps > maxReps {
-		writeError(w, http.StatusBadRequest, "min_reps must be in [1, %d], got %d", maxReps, req.MinReps)
+		writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+			map[string]any{"field": "min_reps", "max": maxReps},
+			"min_reps must be in [1, %d], got %d", maxReps, req.MinReps)
 		return
 	}
 	robust := req.Objective != nil && req.Objective.Kind == "robust"
 	var faults lustre.FaultPlan
 	if req.Faults != nil {
 		if err := req.Faults.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, CodeInvalidFaultPlan, "%v", err)
 			return
 		}
 		faults = *req.Faults
@@ -154,18 +161,21 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	variants := req.FaultVariants
 	if robust {
 		if req.Faults == nil || faults.IsZero() {
-			writeError(w, http.StatusBadRequest, "the robust objective requires a non-empty fault plan (faults)")
+			writeError(w, http.StatusBadRequest, CodeInvalidFaultPlan,
+				"the robust objective requires a non-empty fault plan (faults)")
 			return
 		}
 		if variants == 0 {
 			variants = 2
 		}
 		if variants < 1 || variants > 8 {
-			writeError(w, http.StatusBadRequest, "fault_variants must be in [1, 8], got %d", req.FaultVariants)
+			writeErrorDetails(w, http.StatusBadRequest, CodeBadRequest,
+				map[string]any{"field": "fault_variants", "max": 8},
+				"fault_variants must be in [1, 8], got %d", req.FaultVariants)
 			return
 		}
 	} else if req.FaultVariants != 0 {
-		writeError(w, http.StatusBadRequest, "fault_variants requires the robust objective kind")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "fault_variants requires the robust objective kind")
 		return
 	}
 	var objective search.Objective
@@ -174,7 +184,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		spec.Perturbations = variants
 		var err error
 		if objective, err = spec.Build(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 			return
 		}
 	}
@@ -198,6 +208,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 	opts = opts.WithDefaults()
 
+	tenant := tenantOf(r)
 	job := s.jobs.create("tune", req.Workload)
 	// Like sweeps, the search descends from the request context (client
 	// disconnect stops it) with its own cancel so DELETE works.
@@ -242,7 +253,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			sum    stats.Summary
 			runErr error
 		)
-		qerr := s.queue.DoWait(ctx, func(ctx context.Context) {
+		qerr := s.queue.DoWaitAs(ctx, tenant, func(ctx context.Context) {
 			if err := ctx.Err(); err != nil {
 				runErr = err
 				return

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// APIRevision is bumped whenever the /v1 wire contract changes shape. 2 is
+// the structured-error + unified-jobs + cluster redesign; clients can probe
+// it before relying on error codes or the progress block.
+const APIRevision = 2
+
+// VersionResponse is the GET /v1/version payload: enough build and API
+// identity to debug a fleet where nodes may run different binaries.
+type VersionResponse struct {
+	Service     string `json:"service"`
+	APIRevision int    `json:"api_revision"`
+	GoVersion   string `json:"go"`
+	Module      string `json:"module,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	Cluster     bool   `json:"cluster"` // peering configured on this node
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	resp := VersionResponse{
+		Service:     "stellar-serve",
+		APIRevision: APIRevision,
+		GoVersion:   runtime.Version(),
+		Cluster:     s.fleet != nil,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = info.Main.Path
+		for _, kv := range info.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				resp.VCSRevision = kv.Value
+			case "vcs.time":
+				resp.VCSTime = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
